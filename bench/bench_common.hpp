@@ -1,0 +1,85 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Each bench binary regenerates one table/figure/claim of the paper (see
+// DESIGN.md experiment index) and prints paper-style rows. The helpers here
+// standardize the cluster of Sec. 3 (500 um parallel M4 wires, INV
+// aggressor drivers, NAND2 victim driver in 0.13 um) and the error
+// arithmetic.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/alignment.hpp"
+#include "core/baselines.hpp"
+#include "core/report.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace bench {
+
+using namespace sna;
+
+/// The paper's main test case (Sec. 3): two adjacent coupled nets from
+/// 500 um parallel metal-4 wires, aggressor driver an inverter, victim
+/// driver a 2-input NAND holding its output low, with a noise glitch
+/// propagating through the victim.
+inline core::ClusterSpec paperCluster(int aggressors = 1,
+                                      double glitchFraction = 0.7,
+                                      const tech::Technology* t =
+                                          &tech::tech130()) {
+    core::ClusterSpec spec;
+    spec.technology = t;
+    spec.victim.driverCell = "NAND2_X1";
+    spec.victim.glitchInput = "a";
+    spec.victim.outputLevel = false;
+    spec.victim.glitchHeight = glitchFraction * t->vdd;
+    spec.victim.glitchWidth = 250e-12;
+    spec.victim.receiverCell = "INV_X2";
+    for (int a = 0; a < aggressors; ++a) {
+        core::AggressorSpec agg;
+        agg.driverCell = "INV_X1";
+        agg.outputRising = true;
+        spec.aggressors.push_back(agg);
+    }
+    spec.layer = "M4";
+    spec.lengthUm = 500.0;
+    spec.segments = 16;
+    return spec;
+}
+
+/// Golden run at the worst-case alignment found on the macromodel; returns
+/// {golden, macromodel-at-same-alignment, alignment}.
+struct AlignedPair {
+    core::NoiseResult golden;
+    core::NoiseResult macro_;
+    core::AlignmentResult alignment;
+};
+
+inline AlignedPair runAligned(const core::ClusterSpec& spec,
+                              const core::ClusterMacromodel& model) {
+    AlignedPair out;
+    out.alignment = core::findWorstAlignment(model);
+    core::ClusterSpec goldenSpec = spec;
+    for (std::size_t a = 0; a < goldenSpec.aggressors.size(); ++a) {
+        goldenSpec.aggressors[a].switchTime =
+            out.alignment.aggressorSwitchTimes[a];
+    }
+    goldenSpec.victim.glitchTime = out.alignment.glitchTime;
+    out.golden = core::simulateGolden(goldenSpec);
+    out.macro_ = model.analyzeAt(out.alignment.aggressorSwitchTimes,
+                                 out.alignment.glitchTime);
+    return out;
+}
+
+inline double pctError(double value, double reference) {
+    return (value - reference) / reference;
+}
+
+/// Area in the paper's V*ps unit.
+inline double areaVps(const wave::GlitchMetrics& m) {
+    return m.area / units::volt_ps;
+}
+
+}  // namespace bench

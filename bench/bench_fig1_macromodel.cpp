@@ -1,0 +1,98 @@
+// Experiment F1 — the Figure 1 artefact: the noise-cluster macromodel of a
+// victim and two coupled aggressors.
+//
+// Figure 1 in the paper is a schematic, not a data plot; its reproduction
+// is the assembled macromodel itself. This bench builds the Fig. 1 cluster
+// (victim + two aggressors), prints every element with its characterized
+// value, and then verifies each element against its source:
+//   * the load-curve VCCS vanishes at the holding point and is strongly
+//     non-linear across the sweep;
+//   * each Thevenin ramp + R_TH reproduces the golden driver transition;
+//   * the reduced coupled network preserves the driving-point moments and
+//     the pair coupling totals.
+#include "bench_common.hpp"
+
+#include "mor/linear_network.hpp"
+#include "mor/pi_model.hpp"
+
+int main() {
+    using namespace bench;
+    const auto spec = paperCluster(/*aggressors=*/2);
+    const core::ClusterMacromodel model(spec);
+
+    std::printf("Figure 1. Noise cluster macromodel (victim + two coupled "
+                "aggressors)\n\n%s\n", model.describe().c_str());
+
+    // ---- element verification -------------------------------------------
+    util::Table t({"Element", "Check", "Value", "Verdict"});
+
+    const auto& lc = model.loadCurve();
+    const double iHold = lc(model.inputHoldLevel(), model.outputHoldLevel());
+    t.addRow({"VCCS I_DC", "I at holding point (A)",
+              util::Table::num(iHold, 9),
+              std::abs(iHold) < 1e-5 ? "ok" : "FAIL"});
+    const double iMid = lc(model.inputHoldLevel(), 0.5 * spec.technology->vdd);
+    const double iHalfDrive =
+        lc(0.5 * spec.technology->vdd, 0.5 * spec.technology->vdd);
+    t.addRow({"VCCS I_DC", "restoring current, full drive (mA)",
+              util::Table::num(iMid * 1e3, 3), iMid > 1e-4 ? "ok" : "FAIL"});
+    t.addRow({"VCCS I_DC", "non-linearity: I(half drive)/I(full drive)",
+              util::Table::num(iHalfDrive / iMid, 3),
+              (iHalfDrive < 0.7 * iMid) ? "ok (strongly non-linear)"
+                                         : "FAIL"});
+
+    const ic::RcNetwork& net = model.interconnect();
+    const mor::LinearNetwork lin(net);
+    for (int w = 0; w < net.wireCount(); ++w) {
+        std::vector<int> shorted;
+        for (int o = 0; o < net.wireCount(); ++o) {
+            if (o != w) shorted.push_back(net.driverNode(o));
+        }
+        const auto y = lin.admittanceMoments(net.driverNode(w), shorted, 3);
+        // Reduced model self-capacitance + explicit coupling == y1.
+        const auto& pi = model.reducedPi().nets[w].pi;
+        double cc = 0.0;
+        for (int o = 0; o < net.wireCount(); ++o) {
+            if (o != w) cc += net.couplingCapBetween(w, o);
+        }
+        const double m1err = (pi.totalCap() + cc - y[0]) / y[0];
+        t.addRow({"reduced net " + net.wireName(w),
+                  "self-admittance m1 preserved (rel err)",
+                  util::Table::num(m1err, 6),
+                  std::abs(m1err) < 1e-6 ? "ok" : "FAIL"});
+    }
+    for (const auto& cp : model.reducedPi().couplings) {
+        const double ccPair = net.couplingCapBetween(cp.netA, cp.netB);
+        const double err = (cp.nearCap + cp.farCap - ccPair) / ccPair;
+        t.addRow({"coupling " + net.wireName(cp.netA) + "<->" +
+                      net.wireName(cp.netB),
+                  "total coupling preserved (rel err)",
+                  util::Table::num(err, 6),
+                  std::abs(err) < 1e-9 ? "ok" : "FAIL"});
+    }
+
+    for (std::size_t a = 0; a < model.aggressorModels().size(); ++a) {
+        const auto& m = model.aggressorModels()[a];
+        t.addRow({"Thevenin agg" + std::to_string(a),
+                  "R_TH (ohm) / slew (ps)",
+                  util::Table::num(m.rth, 1) + " / " +
+                      util::Table::num(m.slew * 1e12, 1),
+                  (m.rth > 1.0 && m.slew > 1e-12) ? "ok" : "FAIL"});
+    }
+    for (std::size_t w = 0; w < model.receiverCaps().size(); ++w) {
+        t.addRow({"receiver " + std::to_string(w), "input cap (fF)",
+                  util::Table::num(model.receiverCaps()[w] * 1e15, 2),
+                  model.receiverCaps()[w] > 0.0 ? "ok" : "FAIL"});
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    // ---- end-to-end sanity of the Fig. 1 model ---------------------------
+    const auto run = runAligned(spec, model);
+    std::printf("macromodel vs golden at worst alignment: peak %+.1f%%, "
+                "area %+.1f%% (paper: within few percent)\n",
+                100 * pctError(run.macro_.metrics.peak,
+                               run.golden.metrics.peak),
+                100 * pctError(run.macro_.metrics.area,
+                               run.golden.metrics.area));
+    return 0;
+}

@@ -1,0 +1,48 @@
+// Experiment A2 — ablation of the load-curve characterization grid
+// (DESIGN.md, key decision 2): Eq. (1)'s I_DC = f(V_in, V_out) table
+// resolution vs macromodel accuracy and characterization cost.
+//
+// The paper characterizes "by performing a simple DC analysis, where Vin
+// and Vout are swept across the characterization range"; this bench shows
+// how dense that sweep must be.
+#include "bench_common.hpp"
+
+#include <chrono>
+
+int main() {
+    using namespace bench;
+    const auto spec = paperCluster();
+
+    // Reference: golden simulation at a fixed alignment.
+    core::ClusterSpec goldenSpec = spec;
+    goldenSpec.aggressors[0].switchTime = 0.4e-9;
+    goldenSpec.victim.glitchTime = 0.4e-9;
+    const auto golden = core::simulateGolden(goldenSpec);
+
+    util::Table t({"Grid (NxN)", "Characterization (ms)", "Peak err%",
+                   "Area err%"});
+    for (const int n : {5, 9, 17, 33, 65}) {
+        core::MacromodelOptions opt;
+        opt.loadCurveGrid = n;
+        const auto t0 = std::chrono::steady_clock::now();
+        const core::ClusterMacromodel model(spec, opt);
+        const double charMs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count() *
+            1e3;
+        const auto r = model.analyzeAt({0.4e-9}, 0.4e-9);
+        t.addRow({std::to_string(n) + "x" + std::to_string(n),
+                  util::Table::num(charMs, 1),
+                  util::Table::pct(
+                      pctError(r.metrics.peak, golden.metrics.peak)),
+                  util::Table::pct(
+                      pctError(r.metrics.area, golden.metrics.area))});
+    }
+    std::printf("Load-curve grid ablation (Table 1 cluster, fixed "
+                "alignment)\n\n%s\n", t.str().c_str());
+    std::printf("expected shape: error saturates once the grid resolves the "
+                "device turn-over (~17x17); characterization cost grows "
+                "quadratically\n");
+    return 0;
+}

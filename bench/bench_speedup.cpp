@@ -1,0 +1,86 @@
+// Experiment C2 — Sec. 3 claim: "The speed-up obtained with our approach
+// was about 20X with respect to ELDO(tm), thus yielding a practical
+// approach for noise analysis."
+//
+// google-benchmark timing of the full transistor-level + distributed-RC
+// golden simulation against the macromodel's dedicated small engine on the
+// same cluster, for several extraction densities. Characterization is
+// excluded from the macromodel timing (it is the paper's amortized
+// pre-characterization step); the summary table at the end prints the
+// speed-up per extraction density.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace bench;
+
+core::ClusterSpec specFor(int segments) {
+    auto spec = paperCluster();
+    spec.segments = segments;
+    return spec;
+}
+
+const core::ClusterMacromodel& modelFor(int segments) {
+    // One characterized macromodel per density, built once.
+    static std::map<int, core::ClusterMacromodel> cache;
+    auto it = cache.find(segments);
+    if (it == cache.end()) {
+        it = cache.emplace(segments,
+                           core::ClusterMacromodel(specFor(segments))).first;
+    }
+    return it->second;
+}
+
+void BM_GoldenSpice(benchmark::State& state) {
+    const auto spec = specFor(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        const auto r = core::simulateGolden(spec);
+        benchmark::DoNotOptimize(r.metrics.peak);
+    }
+}
+
+void BM_Macromodel(benchmark::State& state) {
+    const auto& model = modelFor(static_cast<int>(state.range(0)));
+    const std::vector<double> aggTimes{0.4e-9};
+    for (auto _ : state) {
+        const auto r = model.analyzeAt(aggTimes, 0.4e-9);
+        benchmark::DoNotOptimize(r.metrics.peak);
+    }
+}
+
+}  // namespace
+
+BENCHMARK(BM_GoldenSpice)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Macromodel)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Summary in the paper's terms.
+    std::printf("\nSpeed-up summary (single run each, wall clock):\n");
+    sna::util::Table t({"Extraction (segs/wire)", "Golden nodes",
+                        "Macromodel nodes", "Golden (ms)", "Macromodel (ms)",
+                        "Speed-up"});
+    for (const int segs : {8, 16, 32, 64}) {
+        const auto spec = specFor(segs);
+        const auto& model = modelFor(segs);
+        const auto golden = core::simulateGolden(spec);
+        const auto macro_ = model.analyzeAt({0.4e-9}, 0.4e-9);
+        t.addRow({std::to_string(segs), std::to_string(golden.engineNodes),
+                  std::to_string(macro_.engineNodes),
+                  sna::util::Table::num(golden.runtimeSec * 1e3, 2),
+                  sna::util::Table::num(macro_.runtimeSec * 1e3, 3),
+                  sna::util::Table::num(golden.runtimeSec / macro_.runtimeSec,
+                                        1) + "x"});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("paper claim: ~20x vs ELDO at production extraction "
+                "densities\n");
+    return 0;
+}

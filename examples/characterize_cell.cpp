@@ -1,0 +1,100 @@
+// Scenario: library characterization for noise analysis.
+//
+// Runs the paper's pre-characterization step for one cell and prints every
+// produced model: the load-curve table I_DC = f(V_in, V_out) (Eq. (1)), the
+// holding resistance, the Thevenin fit of the cell as an aggressor driver,
+// the noise-propagation table, and the receiver NRC. This is what a library
+// team would run once per cell and ship alongside the .lib.
+//
+// Build & run:  ./build/examples/characterize_cell [CELL_NAME]
+#include <cstdio>
+#include <string>
+
+#include "celllib/library.hpp"
+#include "charlib/characterize.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sna;
+    const std::string cellName = (argc > 1) ? argv[1] : "NAND2_X1";
+    const cell::CellLibrary lib(tech::tech130());
+    if (!lib.has(cellName)) {
+        std::fprintf(stderr, "no cell '%s'; available:", cellName.c_str());
+        for (const auto& n : lib.names()) std::fprintf(stderr, " %s", n.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+    const cell::Cell& cellRef = lib.cell(cellName);
+    const double vdd = lib.technology().vdd;
+    std::printf("characterizing %s in %s (vdd %.2f V)\n\n", cellName.c_str(),
+                lib.technology().name.c_str(), vdd);
+
+    // ---- load curve --------------------------------------------------------
+    charlib::LoadCurveSpec lc;
+    lc.cell = &cellRef;
+    lc.input = cellRef.inputNames().front();
+    lc.outputLevel = false;
+    const auto table = charlib::characterizeLoadCurve(lc);
+    std::printf("load curve I_DC(vin, vout), output held low, input '%s' "
+                "(mA):\n", lc.input.c_str());
+    util::Table lcT({"vin\\vout", "0.0", "0.3", "0.6", "0.9", "1.2"});
+    for (const double vin : {0.0, 0.3, 0.6, 0.9, 1.2}) {
+        std::vector<std::string> row{util::Table::num(vin, 1)};
+        for (const double vout : {0.0, 0.3, 0.6, 0.9, 1.2}) {
+            row.push_back(util::Table::num(table(vin, vout) * 1e3, 3));
+        }
+        lcT.addRow(std::move(row));
+    }
+    std::printf("%s", lcT.str().c_str());
+    std::printf("holding resistance at the quiet point: %.0f ohm\n\n",
+                charlib::holdingResistance(table, vdd, 0.0));
+
+    // ---- Thevenin (as an aggressor driver) --------------------------------
+    charlib::TheveninSpec ts;
+    ts.cell = &cellRef;
+    ts.input = cellRef.inputNames().front();
+    ts.outputRising = true;
+    ts.loadCap = 40e-15;
+    const auto thev = charlib::characterizeThevenin(ts);
+    std::printf("Thevenin (rising output into 40 fF): ramp %.2f->%.2f V over "
+                "%.0f ps behind %.0f ohm, insertion delay %.0f ps\n\n",
+                thev.vStart, thev.vEnd, thev.slew * 1e12, thev.rth,
+                thev.delay * 1e12);
+
+    // ---- propagation table -------------------------------------------------
+    charlib::PropagationSpec ps;
+    ps.cell = &cellRef;
+    ps.input = lc.input;
+    ps.outputLevel = false;
+    ps.loadCap = 40e-15;
+    ps.heights = {0.3 * vdd, 0.6 * vdd, 0.9 * vdd};
+    ps.widths = {120e-12, 240e-12, 480e-12};
+    const auto prop = charlib::characterizePropagation(ps);
+    std::printf("noise propagation, output glitch peak (V) per input glitch "
+                "(height x width):\n");
+    util::Table pT({"height\\width", "120ps", "240ps", "480ps"});
+    for (const double h : ps.heights) {
+        std::vector<std::string> row{util::Table::num(h, 2)};
+        for (const double w : ps.widths) {
+            row.push_back(util::Table::num(prop.peak(h, w), 3));
+        }
+        pT.addRow(std::move(row));
+    }
+    std::printf("%s\n", pT.str().c_str());
+
+    // ---- NRC (as a receiver) -----------------------------------------------
+    charlib::NrcSpec nrc;
+    nrc.cell = &cellRef;
+    nrc.input = lc.input;
+    nrc.quietLevel = false;
+    nrc.widths = {60e-12, 120e-12, 240e-12, 480e-12, 960e-12};
+    const auto curve = charlib::characterizeNrc(nrc);
+    std::printf("noise rejection curve (failing glitch height per width):\n");
+    util::Table nT({"width (ps)", "failing height (V)"});
+    for (std::size_t i = 0; i < curve.xs().size(); ++i) {
+        nT.addRow({util::Table::num(curve.xs()[i] * 1e12, 0),
+                   util::Table::num(curve.ys()[i], 3)});
+    }
+    std::printf("%s", nT.str().c_str());
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Scenario: a victim signal routed inside a bus, swept over coupling length.
+//
+// The classic motivation for static noise analysis: the same victim net is
+// routed next to switching neighbors for an increasing distance. The
+// example sweeps the parallel-run length, analyzes each cluster at its
+// worst-case alignment with the non-linear macromodel, compares against the
+// linear-superposition baseline, and reports where each analysis starts
+// flagging NRC failures — showing how the classical analysis waves through
+// nets that actually fail.
+//
+// Build & run:  ./build/examples/crosstalk_bus
+#include <cstdio>
+
+#include "core/baselines.hpp"
+#include "core/report.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace sna;
+
+    util::Table table({"Run length (um)", "Macromodel peak (V)",
+                       "Superposition peak (V)", "NRC limit (V)",
+                       "Macromodel verdict", "Superposition verdict"});
+
+    for (const double lengthUm : {200.0, 400.0, 600.0, 800.0, 1000.0}) {
+        core::ClusterSpec spec;
+        spec.technology = &tech::tech130();
+        spec.victim.driverCell = "NAND2_X1";
+        spec.victim.glitchInput = "a";
+        spec.victim.outputLevel = false;
+        spec.victim.glitchHeight = 0.62 * 1.2;
+        spec.victim.glitchWidth = 300e-12;
+        spec.victim.receiverCell = "INV_X2";
+        for (int a = 0; a < 2; ++a) {
+            core::AggressorSpec agg;
+            agg.driverCell = "INV_X4";  // strong neighbors
+            agg.outputRising = true;
+            spec.aggressors.push_back(agg);
+        }
+        spec.lengthUm = lengthUm;
+        spec.tstop = 3e-9;
+
+        const core::ClusterMacromodel model(spec);
+        const auto align = core::findWorstAlignment(model);
+        const auto& worst = align.worst;
+        const auto b1 = core::analyzeLinearSuperposition(
+            model, align.aggressorSwitchTimes);
+        const double limit = core::nrcLimitFor(spec, worst.metrics);
+
+        const bool macroFails = std::abs(worst.metrics.peak) >= limit;
+        const bool b1Fails = std::abs(b1.metrics.peak) >= limit;
+        table.addRow({util::Table::num(lengthUm, 0),
+                      util::Table::num(worst.metrics.peak, 3),
+                      util::Table::num(b1.metrics.peak, 3),
+                      util::Table::num(limit, 3),
+                      macroFails ? "FAIL" : "pass",
+                      b1Fails ? "FAIL" : "pass"});
+    }
+
+    std::printf("Victim inside a switching bus, coupling-length sweep\n"
+                "(NAND2_X1 victim held low + propagated glitch, two INV_X2 "
+                "aggressors, M4, 0.13 um)\n\n%s\n", table.str().c_str());
+    std::printf("reading: rows where the superposition verdict is 'pass' "
+                "while the macromodel says 'FAIL' are exactly the silent "
+                "functional failures the paper warns about.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: analyze one noise cluster end to end.
+//
+// Builds the paper's main test case — a NAND2 victim driver holding its
+// output low over 500 um of metal-4, one coupled inverter aggressor, and a
+// noise glitch propagating through the victim — then:
+//   1. characterizes and assembles the non-linear macromodel (Figure 1),
+//   2. finds the worst-case aggressor/glitch alignment,
+//   3. checks the result against the receiver's noise rejection curve,
+//   4. cross-checks against full transistor-level simulation.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/baselines.hpp"
+#include "core/report.hpp"
+
+int main() {
+    using namespace sna;
+
+    // ---- 1. describe the cluster -----------------------------------------
+    core::ClusterSpec spec;
+    spec.technology = &tech::tech130();
+    spec.victim.driverCell = "NAND2_X1";
+    spec.victim.glitchInput = "a";
+    spec.victim.outputLevel = false;      // output held low
+    spec.victim.glitchHeight = 0.7 * 1.2; // propagated noise at the input
+    spec.victim.glitchWidth = 250e-12;
+    spec.victim.receiverCell = "INV_X2";
+    core::AggressorSpec agg;
+    agg.driverCell = "INV_X1";
+    agg.outputRising = true;
+    spec.aggressors.push_back(agg);
+    spec.layer = "M4";
+    spec.lengthUm = 500.0;
+
+    // ---- 2. characterize + assemble the macromodel ------------------------
+    const core::ClusterMacromodel model(spec);
+    std::printf("%s\n", model.describe().c_str());
+
+    // ---- 3. worst-case analysis + NRC check -------------------------------
+    const auto report = core::analyzeCluster(spec);
+    const auto& m = report.worst.metrics;
+    std::printf("worst-case combined noise at the victim driving point:\n");
+    std::printf("  peak  %.3f V at t = %.0f ps\n", m.peak, m.peakTime * 1e12);
+    std::printf("  area  %.1f V*ps, width %.0f ps\n", m.area * 1e12,
+                m.width * 1e12);
+    std::printf("  NRC limit at this width: %.3f V -> %s (margin %+.3f V)\n",
+                report.nrcLimit, report.fails ? "FAIL" : "pass",
+                report.margin);
+
+    // ---- 4. sanity: compare with the golden transistor-level run ----------
+    core::ClusterSpec goldenSpec = spec;
+    goldenSpec.aggressors[0].switchTime = report.aggressorSwitchTimes[0];
+    goldenSpec.victim.glitchTime = report.glitchTime;
+    const auto golden = core::simulateGolden(goldenSpec);
+    std::printf("\ngolden simulation at the same alignment: peak %.3f V "
+                "(macromodel error %+.1f%%), %zu-node circuit vs %zu, "
+                "%.1fx faster\n",
+                golden.metrics.peak,
+                100.0 * (m.peak - golden.metrics.peak) / golden.metrics.peak,
+                golden.engineNodes, report.worst.engineNodes,
+                golden.runtimeSec / report.worst.runtimeSec);
+    return 0;
+}

@@ -1,0 +1,36 @@
+// The bundled standard-cell library.
+//
+// Twelve combinational cells (inverters/buffers, NAND/NOR stacks, AOI/OAI
+// complex gates) at one or more drive strengths, resolved against a
+// Technology. This plays the role of the commercial library the paper
+// characterizes; the victim of its main experiment is NAND2_X1 and the
+// aggressor driver INV_X1/X2.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "celllib/cell.hpp"
+
+namespace sna::cell {
+
+class CellLibrary {
+public:
+    explicit CellLibrary(const tech::Technology& tech);
+
+    const tech::Technology& technology() const { return *tech_; }
+
+    bool has(const std::string& name) const;
+    const Cell& cell(const std::string& name) const;
+    std::vector<std::string> names() const;
+
+private:
+    void define(const std::string& name, std::vector<Pin> pins,
+                std::vector<TransistorSpec> fets, Cell::LogicFn logic);
+
+    const tech::Technology* tech_;
+    std::map<std::string, Cell> cells_;
+};
+
+}  // namespace sna::cell

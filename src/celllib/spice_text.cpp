@@ -1,0 +1,60 @@
+#include "celllib/spice_text.hpp"
+
+#include <sstream>
+
+namespace sna::cell {
+
+std::string modelName(const tech::Technology& t, spice::MosType type) {
+    return (type == spice::MosType::Nmos ? "nmos_" : "pmos_") + t.name;
+}
+
+namespace {
+void emitModel(std::ostringstream& os, const tech::Technology& t,
+               const spice::MosModel& m) {
+    os << ".model " << modelName(t, m.type) << ' '
+       << (m.type == spice::MosType::Nmos ? "nmos" : "pmos") << " (level=1"
+       << " vto=" << m.vt0 << " kp=" << m.kp << " lambda=" << m.lambda
+       << " gamma=" << m.gamma << " phi=" << m.phi << " cox=" << m.cox
+       << " cgso=" << m.cgso << " cgdo=" << m.cgdo << " cj=" << m.cj
+       << " cjsw=" << m.cjsw << " ldiff=" << m.ldiff << ")\n";
+}
+}  // namespace
+
+std::string modelCards(const tech::Technology& t) {
+    std::ostringstream os;
+    os.precision(9);
+    emitModel(os, t, t.nmos);
+    emitModel(os, t, t.pmos);
+    return os.str();
+}
+
+std::string subcktText(const Cell& c) {
+    std::ostringstream os;
+    os.precision(9);
+    os << ".subckt " << c.name();
+    for (const auto& in : c.inputNames()) os << ' ' << in;
+    os << ' ' << c.outputName() << " vdd gnd\n";
+    int i = 0;
+    for (const auto& f : c.transistors()) {
+        os << 'm' << ++i << ' ' << f.drain << ' ' << f.gate << ' ' << f.source
+           << ' ' << f.bulk << ' '
+           << modelName(c.technology(),
+                        f.type)
+           << " w=" << f.width << " l=" << f.length << "\n";
+    }
+    os << ".ends " << c.name() << "\n";
+    return os.str();
+}
+
+std::string libraryText(const CellLibrary& lib) {
+    std::ostringstream os;
+    os << "* OpenSNA cell library for technology " << lib.technology().name
+       << "\n";
+    os << modelCards(lib.technology());
+    for (const auto& name : lib.names()) {
+        os << subcktText(lib.cell(name));
+    }
+    return os.str();
+}
+
+}  // namespace sna::cell

@@ -1,0 +1,26 @@
+// SPICE text emission for technologies and cells.
+//
+// Produces .model cards and .subckt definitions consumable by the bundled
+// SPICE parser (round-trip tested) and by external tools; this is the
+// library-exchange path a downstream user would script against.
+#pragma once
+
+#include <string>
+
+#include "celllib/library.hpp"
+
+namespace sna::cell {
+
+/// Model-card name used for a technology's NMOS/PMOS.
+std::string modelName(const tech::Technology& t, spice::MosType type);
+
+/// ".model <name> nmos|pmos (vto=... kp=... ...)" cards for both devices.
+std::string modelCards(const tech::Technology& t);
+
+/// ".subckt <CELL> <inputs...> <output> vdd gnd" + transistor cards.
+std::string subcktText(const Cell& c);
+
+/// Models + every cell of the library, as one netlist-include text.
+std::string libraryText(const CellLibrary& lib);
+
+}  // namespace sna::cell

@@ -1,0 +1,122 @@
+// Cell characterization: the paper's pre-characterization step.
+//
+// Produces every model the noise flow consumes:
+//  * load-curve tables I_DC = f(V_in, V_out) — Eq. (1) of the paper, the
+//    heart of the victim-driver macromodel (DC sweeps over the noise swing);
+//  * holding resistance — the victim linearization used by the classical
+//    superposition baseline;
+//  * Thevenin equivalents (saturated ramp V_TH + resistance R_TH) for
+//    aggressor drivers, fitted Dartu–Pileggi style from output crossing
+//    times;
+//  * noise-propagation tables (input glitch height x width -> output glitch
+//    peak/area) for the table-based propagated-noise baseline;
+//  * noise rejection curves (NRC) for receiver failure checks;
+//  * measured input capacitance (charge method) for receiver loading.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "celllib/cell.hpp"
+#include "la/interp.hpp"
+#include "waveform/waveform.hpp"
+
+namespace sna::charlib {
+
+// ------------------------------------------------------------- load curve
+
+struct LoadCurveSpec {
+    const cell::Cell* cell = nullptr;
+    std::string input;          ///< sensitive input pin (glitch arrival pin)
+    bool outputLevel = false;   ///< held output level (false = low)
+    int nVin = 33;
+    int nVout = 33;
+    /// Sweep range; NaN -> [-0.2 vdd, 1.2 vdd] (the "typical voltage swing
+    /// of the given technology" plus overshoot margin).
+    double vMin = kAuto;
+    double vMax = kAuto;
+    static constexpr double kAuto = -1e9;
+};
+
+/// DC-sweep the cell and tabulate the current it SINKS at its output pin,
+/// as a function of (v_input, v_output). Axis 1 = v_in, axis 2 = v_out.
+la::Grid2d characterizeLoadCurve(const LoadCurveSpec& spec);
+
+/// Small-signal holding resistance at the quiet point: 1 / (dI/dVout).
+double holdingResistance(const la::Grid2d& loadCurve, double vinHold,
+                         double voutHold);
+
+// --------------------------------------------------------------- thevenin
+
+/// Saturated-ramp Thevenin equivalent of a switching driver.
+struct TheveninModel {
+    double vStart = 0.0;  ///< output rail before the transition
+    double vEnd = 0.0;    ///< output rail after
+    double slew = 0.0;    ///< ramp duration, s
+    double rth = 0.0;     ///< driving resistance, ohm
+    double delay = 0.0;   ///< driver insertion delay: input start -> ramp
+                          ///< launch, s
+
+    /// The V_TH waveform starting its ramp at t0 (add `delay` to the input
+    /// switching time for absolute alignment).
+    wave::Waveform ramp(double t0, double tEnd) const;
+};
+
+struct TheveninSpec {
+    const cell::Cell* cell = nullptr;
+    std::string input;           ///< switching input pin
+    bool outputRising = true;    ///< direction of the OUTPUT transition
+    double loadCap = 20e-15;     ///< characterization load, F
+    double inputSlew = 30e-12;   ///< input ramp, s
+};
+
+/// Fit (slew, rth) so the model's 20%/80% output crossing times match the
+/// transistor-level simulation into the same load (Dartu–Pileggi).
+TheveninModel characterizeThevenin(const TheveninSpec& spec);
+
+// ------------------------------------------------------------ propagation
+
+/// Pre-characterized noise-propagation tables: the classical way to get the
+/// noise transferred through the victim driver ("usually obtained from
+/// pre-characterized tables as a function of the input noise glitch area
+/// (or width) and height" — paper, Sec. 1).
+struct PropagationTable {
+    la::Grid2d peak;   ///< (height, width) -> output glitch peak, V (signed)
+    la::Grid2d area;   ///< (height, width) -> output glitch area, V*s (signed)
+    double outputBaseline = 0.0;  ///< quiet output level, V
+};
+
+struct PropagationSpec {
+    const cell::Cell* cell = nullptr;
+    std::string input;
+    bool outputLevel = false;  ///< held output level
+    double loadCap = 30e-15;   ///< total victim net + receiver load, F
+    std::vector<double> heights;  ///< glitch heights, V (toward other rail)
+    std::vector<double> widths;   ///< glitch widths, s
+};
+
+PropagationTable characterizePropagation(const PropagationSpec& spec);
+
+// -------------------------------------------------------------------- nrc
+
+struct NrcSpec {
+    const cell::Cell* cell = nullptr;  ///< receiver cell
+    std::string input;
+    bool quietLevel = false;   ///< quiet input level (glitch goes other way)
+    double loadCap = 10e-15;   ///< receiver output load, F
+    std::vector<double> widths;  ///< glitch widths to probe, s
+    double failFraction = 0.5;   ///< output crossing fraction that fails
+};
+
+/// Noise Rejection Curve: for each width, the minimal glitch height that
+/// propagates a failure through the receiver (bisected). Heights above the
+/// curve are failures. Monotonically non-increasing in width.
+la::Grid1d characterizeNrc(const NrcSpec& spec);
+
+// -------------------------------------------------------------- input cap
+
+/// Charge-method measurement: slow ramp into the pin through a resistor,
+/// C = integral(i dt) / vdd. Cross-validates Cell::inputCapacitance.
+double measureInputCapacitance(const cell::Cell& c, const std::string& pin);
+
+}  // namespace sna::charlib

@@ -1,0 +1,41 @@
+// Serialization of characterization artifacts.
+//
+// Characterization is the expensive, amortized step of the flow (the paper
+// runs it once per library); production use requires shipping the results.
+// This module defines a small line-oriented text format ("snamodel v1") for
+// load-curve tables, Thevenin models, propagation tables, and NRCs, with
+// exact round-trip (hex-float payloads) and versioned headers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "charlib/characterize.hpp"
+
+namespace sna::charlib {
+
+// ---- load curve (la::Grid2d) ----
+std::string saveLoadCurve(const la::Grid2d& table,
+                          const std::string& comment = "");
+la::Grid2d loadLoadCurve(const std::string& text);
+
+// ---- Thevenin model ----
+std::string saveThevenin(const TheveninModel& model,
+                         const std::string& comment = "");
+TheveninModel loadThevenin(const std::string& text);
+
+// ---- propagation table ----
+std::string savePropagation(const PropagationTable& table,
+                            const std::string& comment = "");
+PropagationTable loadPropagation(const std::string& text);
+
+// ---- NRC (la::Grid1d) ----
+std::string saveNrc(const la::Grid1d& curve, const std::string& comment = "");
+la::Grid1d loadNrc(const std::string& text);
+
+/// Waveform as a two-column CSV ("time,value" with a header line), the
+/// exchange format for plotting scripts.
+std::string toCsv(const wave::Waveform& w);
+wave::Waveform fromCsv(const std::string& text);
+
+}  // namespace sna::charlib

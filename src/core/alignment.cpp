@@ -1,0 +1,165 @@
+#include "core/alignment.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace sna::core {
+
+namespace {
+
+// Initial guess: align every contributor's estimated peak time at a common
+// instant T (far enough from t=0 for settling).
+struct InitialTimes {
+    std::vector<double> agg;
+    double glitch;
+};
+
+InitialTimes peakAlignedInit(const ClusterMacromodel& model) {
+    const ClusterSpec& spec = model.spec();
+    const double tCenter = 0.35 * spec.tstop;
+    InitialTimes init;
+    for (std::size_t a = 0; a < spec.aggressors.size(); ++a) {
+        const auto& m = model.aggressorModels()[a];
+        // Injected noise peaks roughly when the aggressor ramp ends.
+        init.agg.push_back(tCenter - m.delay - m.slew);
+    }
+    // Propagated glitch peaks about half a width after its onset.
+    init.glitch = tCenter - 0.5 * spec.victim.glitchWidth;
+    return init;
+}
+
+double objective(const ClusterMacromodel& model,
+                 const std::vector<double>& aggTimes, double glitchTime,
+                 NoiseResult* out) {
+    NoiseResult r = model.analyzeAt(aggTimes, glitchTime);
+    const double value = std::abs(r.metrics.peak);
+    if (out != nullptr) *out = std::move(r);
+    return value;
+}
+
+}  // namespace
+
+AlignmentResult findWorstAlignment(const ClusterMacromodel& model,
+                                   const AlignmentOptions& opt) {
+    const ClusterSpec& spec = model.spec();
+    const bool hasGlitch = spec.victim.glitchHeight > 0.0;
+    InitialTimes times = peakAlignedInit(model);
+
+    AlignmentResult best;
+    best.aggressorSwitchTimes = times.agg;
+    best.glitchTime = times.glitch;
+    double bestVal =
+        objective(model, times.agg, times.glitch, &best.worst);
+    best.evaluations = 1;
+
+    // The spec's own alignment is a free candidate — never return worse
+    // than what the caller would get without the search.
+    {
+        std::vector<double> specTimes;
+        for (const auto& agg : spec.aggressors) {
+            specTimes.push_back(agg.switchTime);
+        }
+        NoiseResult r;
+        const double val =
+            objective(model, specTimes, spec.victim.glitchTime, &r);
+        ++best.evaluations;
+        if (val > bestVal) {
+            bestVal = val;
+            best.aggressorSwitchTimes = std::move(specTimes);
+            best.glitchTime = spec.victim.glitchTime;
+            best.worst = std::move(r);
+        }
+    }
+
+    const std::size_t vars = times.agg.size() + (hasGlitch ? 1 : 0);
+    double window = opt.window;
+    for (int round = 0; round < opt.rounds; ++round) {
+        for (std::size_t v = 0; v < vars; ++v) {
+            const bool isGlitch = hasGlitch && v == times.agg.size();
+            const double center = isGlitch
+                                      ? best.glitchTime
+                                      : best.aggressorSwitchTimes[v];
+            for (int k = 0; k < opt.coarsePoints; ++k) {
+                const double t =
+                    center - 0.5 * window +
+                    window * k / std::max(1, opt.coarsePoints - 1);
+                if (t < 0.0 || t > 0.8 * spec.tstop) continue;
+                auto aggTimes = best.aggressorSwitchTimes;
+                double glitchTime = best.glitchTime;
+                if (isGlitch) {
+                    glitchTime = t;
+                } else {
+                    aggTimes[v] = t;
+                }
+                NoiseResult r;
+                const double val =
+                    objective(model, aggTimes, glitchTime, &r);
+                ++best.evaluations;
+                if (val > bestVal) {
+                    bestVal = val;
+                    best.aggressorSwitchTimes = aggTimes;
+                    best.glitchTime = glitchTime;
+                    best.worst = std::move(r);
+                }
+            }
+        }
+        window /= 3.0;
+    }
+    log::debug() << "alignment search: " << best.evaluations
+                 << " evaluations, worst peak " << best.worst.metrics.peak;
+    return best;
+}
+
+AlignmentResult bruteForceWorstAlignment(const ClusterMacromodel& model,
+                                         double window, int pointsPerAxis) {
+    SNA_REQUIRE(pointsPerAxis >= 2, "grid needs >= 2 points per axis");
+    const ClusterSpec& spec = model.spec();
+    const bool hasGlitch = spec.victim.glitchHeight > 0.0;
+    const InitialTimes init = peakAlignedInit(model);
+    const std::size_t vars = init.agg.size() + (hasGlitch ? 1 : 0);
+    SNA_REQUIRE(vars >= 1, "nothing to align");
+
+    std::vector<int> idx(vars, 0);
+    AlignmentResult best;
+    double bestVal = -1.0;
+    bool done = false;
+    while (!done) {
+        std::vector<double> aggTimes = init.agg;
+        double glitchTime = init.glitch;
+        for (std::size_t v = 0; v < vars; ++v) {
+            const double center =
+                (hasGlitch && v == init.agg.size()) ? init.glitch
+                                                    : init.agg[v];
+            const double t = center - 0.5 * window +
+                             window * idx[v] / (pointsPerAxis - 1);
+            if (hasGlitch && v == init.agg.size()) {
+                glitchTime = std::max(t, 0.0);
+            } else {
+                aggTimes[v] = std::max(t, 0.0);
+            }
+        }
+        NoiseResult r;
+        const double val = objective(model, aggTimes, glitchTime, &r);
+        ++best.evaluations;
+        if (val > bestVal) {
+            bestVal = val;
+            best.aggressorSwitchTimes = aggTimes;
+            best.glitchTime = glitchTime;
+            best.worst = std::move(r);
+        }
+        // Advance the multi-index.
+        done = true;
+        for (std::size_t v = 0; v < vars; ++v) {
+            if (++idx[v] < pointsPerAxis) {
+                done = false;
+                break;
+            }
+            idx[v] = 0;
+        }
+    }
+    return best;
+}
+
+}  // namespace sna::core

@@ -1,0 +1,38 @@
+// Worst-case noise alignment search.
+//
+// The total glitch depends on when each aggressor switches and when the
+// propagated glitch arrives. The paper's worst case "occurs when all the
+// noise glitch peaks are aligned"; this module provides that heuristic as a
+// starting point plus a coordinate-refinement search on the macromodel
+// (cheap — each probe is a ~10-node transient), and a brute-force grid
+// reference for validation.
+#pragma once
+
+#include "core/macromodel.hpp"
+
+namespace sna::core {
+
+struct AlignmentOptions {
+    double window = 0.8e-9;   ///< search window around the initial times, s
+    int coarsePoints = 7;     ///< grid points per variable per round
+    int rounds = 3;           ///< shrink-and-refine rounds
+};
+
+struct AlignmentResult {
+    std::vector<double> aggressorSwitchTimes;
+    double glitchTime = 0.0;
+    NoiseResult worst;
+    int evaluations = 0;
+};
+
+/// Coordinate-descent worst-|peak| search starting from peak-aligned
+/// initial times.
+AlignmentResult findWorstAlignment(const ClusterMacromodel& model,
+                                   const AlignmentOptions& opt = {});
+
+/// Exhaustive grid over the same window (validation / small cases only:
+/// cost is pointsPerAxis^(aggressors + 1) transients).
+AlignmentResult bruteForceWorstAlignment(const ClusterMacromodel& model,
+                                         double window, int pointsPerAxis);
+
+}  // namespace sna::core

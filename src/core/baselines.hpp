@@ -1,0 +1,32 @@
+// The two classical analyses the paper measures its macromodel against.
+//
+// B1 — linear superposition (Sec. 1 of the paper): the victim driver is a
+// holding resistance, the crosstalk-injected noise is computed on the
+// linearized cluster, the propagated noise comes from pre-characterized
+// tables, and the two are summed with their peaks aligned (the worst-case
+// convention). Strongly non-linear drivers make this underestimate badly —
+// Table 1's point.
+//
+// B2 — iterative Thevenin victim model (Zolotov et al. [4]): the victim
+// driver is a pulsed voltage source (its noise-free glitch response V0(t))
+// behind a resistance that is iteratively refit to the load curve at the
+// current noise amplitude. Better than B1, still linear at solve time.
+#pragma once
+
+#include "core/macromodel.hpp"
+
+namespace sna::core {
+
+/// B1. Aggressor switch times as in analyzeAt; the propagated glitch is
+/// peak-aligned with the injected noise (worst-case superposition).
+NoiseResult analyzeLinearSuperposition(
+    const ClusterMacromodel& model,
+    const std::vector<double>& aggressorSwitchTimes);
+
+/// B2. `maxIterations` bounds the Thevenin-resistance refinement loop.
+NoiseResult analyzeIterativeThevenin(
+    const ClusterMacromodel& model,
+    const std::vector<double>& aggressorSwitchTimes, double glitchTime,
+    int maxIterations = 8);
+
+}  // namespace sna::core

@@ -1,0 +1,81 @@
+// Noise-cluster specification and the golden (ELDO-role) analysis.
+//
+// A cluster is a victim net with its driver (holding a logic level, with an
+// optional noise glitch arriving at one input — the propagated noise), its
+// receiver, and capacitively coupled aggressor nets whose drivers switch.
+// simulateGolden() builds the full transistor-level circuit over the full
+// distributed RC and runs the adaptive transient engine: this is the
+// reference every model in the paper is judged against.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "celllib/library.hpp"
+#include "interconnect/parallel_bus.hpp"
+#include "waveform/metrics.hpp"
+
+namespace sna::core {
+
+struct VictimSpec {
+    std::string driverCell = "NAND2_X1";
+    std::string glitchInput = "a";   ///< input pin carrying propagated noise
+    bool outputLevel = false;        ///< held output level (false = low)
+    std::string receiverCell = "INV_X2";
+    /// Propagated-noise stimulus at the driver input: triangle toward the
+    /// opposite rail. Height 0 disables it.
+    double glitchHeight = 0.0;       ///< V
+    double glitchWidth = 200e-12;    ///< s
+    double glitchTime = 400e-12;     ///< arrival of the glitch onset, s
+};
+
+struct AggressorSpec {
+    std::string driverCell = "INV_X2";
+    bool outputRising = true;        ///< aggressor transition direction
+    double inputSlew = 30e-12;
+    double switchTime = 400e-12;     ///< aggressor INPUT switch time, s
+    std::string receiverCell = "INV_X2";
+    double couplingScale = 1.0;      ///< derates this aggressor's coupling
+};
+
+struct ClusterSpec {
+    const tech::Technology* technology = &tech::tech130();
+    VictimSpec victim;
+    std::vector<AggressorSpec> aggressors;
+
+    // Interconnect geometry (used when customNet is not set).
+    std::string layer = "M4";
+    double lengthUm = 500.0;
+    int segments = 16;
+
+    /// Externally supplied coupled RC (wire 0 = victim, wires 1.. =
+    /// aggressors in order); overrides the geometry fields. Not owned.
+    const ic::RcNetwork* customNet = nullptr;
+
+    double tstop = 2.5e-9;
+};
+
+/// The cluster's interconnect: customNet if set, else the star cluster from
+/// the geometry fields (victim = wire 0).
+ic::RcNetwork clusterNet(const ClusterSpec& spec);
+
+struct NoiseResult {
+    wave::GlitchMetrics metrics;  ///< at the victim driving point
+    wave::Waveform waveform;      ///< victim driving-point voltage
+    double runtimeSec = 0.0;      ///< wall-clock of the engine run
+    std::size_t engineNodes = 0;  ///< MNA unknowns of the engine circuit
+};
+
+/// Full transistor-level + full-RC reference simulation.
+NoiseResult simulateGolden(const ClusterSpec& spec);
+
+/// The quiet victim level implied by the spec (0 or vdd).
+double victimBaseline(const ClusterSpec& spec);
+
+/// The victim-driver input glitch waveform implied by the spec (empty
+/// optional if glitchHeight == 0).
+std::optional<wave::Waveform> victimInputGlitch(const ClusterSpec& spec,
+                                                double glitchTime);
+
+}  // namespace sna::core

@@ -1,0 +1,234 @@
+#include "core/macromodel.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "mor/linear_network.hpp"
+#include "spice/tran.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "waveform/sources.hpp"
+
+namespace sna::core {
+
+ClusterMacromodel::ClusterMacromodel(const ClusterSpec& spec, Options opt)
+    : spec_(spec), opt_(opt), net_(clusterNet(spec)) {
+    const cell::CellLibrary lib(*spec_.technology);
+    const double vdd = spec_.technology->vdd;
+
+    // --- victim driver: the load-curve table (Eq. (1)) -------------------
+    const cell::Cell& vic = lib.cell(spec_.victim.driverCell);
+    charlib::LoadCurveSpec lc;
+    lc.cell = &vic;
+    lc.input = spec_.victim.glitchInput;
+    lc.outputLevel = spec_.victim.outputLevel;
+    lc.nVin = opt_.loadCurveGrid;
+    lc.nVout = opt_.loadCurveGrid;
+    loadCurve_ = charlib::characterizeLoadCurve(lc);
+    const auto hold =
+        vic.holdingVector(spec_.victim.outputLevel, spec_.victim.glitchInput);
+    vinHold_ = hold.at(spec_.victim.glitchInput) ? vdd : 0.0;
+    voutHold_ = victimBaseline(spec_);
+
+    // --- receivers: input capacitances ------------------------------------
+    rxCaps_.push_back(lib.cell(spec_.victim.receiverCell)
+                          .inputCapacitance(
+                              lib.cell(spec_.victim.receiverCell)
+                                  .inputNames()
+                                  .front()));
+    for (const auto& agg : spec_.aggressors) {
+        const cell::Cell& rx = lib.cell(agg.receiverCell);
+        rxCaps_.push_back(rx.inputCapacitance(rx.inputNames().front()));
+    }
+
+    // --- driver output capacitances ----------------------------------------
+    drvCaps_.push_back(vic.outputCapacitance(vic.outputName()));
+    for (const auto& agg : spec_.aggressors) {
+        const cell::Cell& drv = lib.cell(agg.driverCell);
+        drvCaps_.push_back(drv.outputCapacitance(drv.outputName()));
+    }
+
+    // --- aggressor drivers: Thevenin equivalents --------------------------
+    for (std::size_t a = 0; a < spec_.aggressors.size(); ++a) {
+        const auto& agg = spec_.aggressors[a];
+        charlib::TheveninSpec ts;
+        ts.cell = &lib.cell(agg.driverCell);
+        ts.input = ts.cell->inputNames().front();
+        ts.outputRising = agg.outputRising;
+        ts.inputSlew = agg.inputSlew;
+        const int wire = static_cast<int>(a) + 1;
+        double coupling = 0.0;
+        for (int o = 0; o < net_.wireCount(); ++o) {
+            if (o != wire) coupling += net_.couplingCapBetween(wire, o);
+        }
+        ts.loadCap = net_.totalGroundCapOf(wire) + coupling + rxCaps_[a + 1];
+        aggressors_.push_back(charlib::characterizeThevenin(ts));
+    }
+
+    // --- interconnect reduction -------------------------------------------
+    if (opt_.usePrima) {
+        const mor::LinearNetwork lin(net_);
+        for (int w = 0; w < net_.wireCount(); ++w) {
+            primaPorts_.push_back(net_.driverNode(w));
+        }
+        for (int w = 0; w < net_.wireCount(); ++w) {
+            primaPorts_.push_back(net_.receiverNode(w));
+        }
+        prima_ = mor::primaReduce(lin, primaPorts_, opt_.primaBlocks);
+    } else {
+        pi_ = mor::reduceCluster(net_);
+    }
+}
+
+double ClusterMacromodel::victimHoldingResistance() const {
+    return charlib::holdingResistance(loadCurve_, vinHold_, voutHold_);
+}
+
+const mor::CoupledPiModel& ClusterMacromodel::reducedPi() const {
+    SNA_REQUIRE(pi_.has_value(),
+                "macromodel was built in PRIMA mode; no coupled-Pi");
+    return *pi_;
+}
+
+const charlib::PropagationTable& ClusterMacromodel::propagationTable() const {
+    if (!propagation_.has_value()) {
+        const cell::CellLibrary lib(*spec_.technology);
+        charlib::PropagationSpec ps;
+        ps.cell = &lib.cell(spec_.victim.driverCell);
+        ps.input = spec_.victim.glitchInput;
+        ps.outputLevel = spec_.victim.outputLevel;
+        double coupling = 0.0;
+        for (int o = 1; o < net_.wireCount(); ++o) {
+            coupling += net_.couplingCapBetween(0, o);
+        }
+        ps.loadCap = net_.totalGroundCapOf(0) + coupling + rxCaps_[0];
+        const double vdd = spec_.technology->vdd;
+        ps.heights = {0.1 * vdd, 0.25 * vdd, 0.4 * vdd, 0.55 * vdd,
+                      0.7 * vdd, 0.85 * vdd, 1.0 * vdd};
+        ps.widths = {60e-12, 120e-12, 240e-12, 480e-12, 960e-12};
+        propagation_ = charlib::characterizePropagation(ps);
+    }
+    return *propagation_;
+}
+
+NoiseResult ClusterMacromodel::analyze() const {
+    std::vector<double> aggTimes;
+    for (const auto& agg : spec_.aggressors) {
+        aggTimes.push_back(agg.switchTime);
+    }
+    return analyzeAt(aggTimes, spec_.victim.glitchTime);
+}
+
+NoiseResult ClusterMacromodel::analyzeAt(
+    const std::vector<double>& aggressorSwitchTimes, double glitchTime) const {
+    SNA_REQUIRE(aggressorSwitchTimes.size() == spec_.aggressors.size(),
+                "need one switch time per aggressor");
+    const auto start = std::chrono::steady_clock::now();
+
+    // ---- assemble the Fig. 1 circuit -------------------------------------
+    spice::Circuit ckt;
+    const auto vin = ckt.node("vin");
+    const auto dp = ckt.node("dp_vic");
+    if (const auto glitch = victimInputGlitch(spec_, glitchTime)) {
+        ckt.addVSource("v_in", vin, spice::kGround,
+                       spice::SourceSpec::pwl(*glitch));
+    } else {
+        ckt.addVSource("v_in", vin, spice::kGround,
+                       spice::SourceSpec::dc(vinHold_));
+    }
+    ckt.addTableVccs("idc_victim", dp, vin, loadCurve_);
+
+    std::vector<spice::NodeId> drvNodes{dp};
+    ckt.addCapacitor("cdrv0", dp, spice::kGround, drvCaps_[0]);
+    for (std::size_t a = 0; a < spec_.aggressors.size(); ++a) {
+        const auto& model = aggressors_[a];
+        const std::string inst = "agg" + std::to_string(a);
+        const auto src = ckt.node(inst + "_th");
+        const auto adp = ckt.node(inst + "_dp");
+        ckt.addVSource(
+            "v_" + inst, src, spice::kGround,
+            spice::SourceSpec::pwl(model.ramp(
+                aggressorSwitchTimes[a] + model.delay, spec_.tstop)));
+        ckt.addResistor("r_" + inst, src, adp, model.rth);
+        ckt.addCapacitor("cdrv" + std::to_string(a + 1), adp, spice::kGround,
+                         drvCaps_[a + 1]);
+        drvNodes.push_back(adp);
+    }
+
+    if (opt_.usePrima) {
+        const mor::LinearNetwork lin(net_);
+        std::vector<spice::NodeId> portNodes = drvNodes;
+        std::vector<spice::NodeId> rcvNodes;
+        for (int w = 0; w < net_.wireCount(); ++w) {
+            rcvNodes.push_back(ckt.node("rcv" + std::to_string(w)));
+        }
+        portNodes.insert(portNodes.end(), rcvNodes.begin(), rcvNodes.end());
+        ckt.addDevice<mor::ReducedMultiport>("rednet", portNodes, *prima_);
+        for (int w = 0; w < net_.wireCount(); ++w) {
+            ckt.addCapacitor("crx" + std::to_string(w), rcvNodes[w],
+                             spice::kGround, rxCaps_[w]);
+        }
+    } else {
+        const auto farNodes = pi_->buildInto(ckt, "pi:", drvNodes);
+        for (int w = 0; w < net_.wireCount(); ++w) {
+            ckt.addCapacitor("crx" + std::to_string(w), farNodes[w],
+                             spice::kGround, rxCaps_[w]);
+        }
+    }
+
+    // ---- run the dedicated small engine -----------------------------------
+    spice::TranOptions opt;
+    opt.tstop = spec_.tstop;
+    const auto res = spice::simulateTransient(ckt, opt);
+
+    NoiseResult out;
+    out.waveform = res.waveform("dp_vic");
+    out.metrics = wave::measureGlitch(out.waveform, voutHold_);
+    out.engineNodes = ckt.nodeCount();
+    out.runtimeSec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return out;
+}
+
+std::string ClusterMacromodel::describe() const {
+    std::ostringstream os;
+    os << "Noise-cluster macromodel (Fig. 1 of the paper)\n";
+    os << "  victim driver " << spec_.victim.driverCell << " -> VCCS I_DC"
+       << " = f(V_in, V_out), " << loadCurve_.xs().size() << "x"
+       << loadCurve_.ys().size() << " load-curve table\n";
+    os << "    input hold " << vinHold_ << " V, output hold " << voutHold_
+       << " V, holding resistance " << victimHoldingResistance() << " ohm\n";
+    for (std::size_t a = 0; a < aggressors_.size(); ++a) {
+        const auto& m = aggressors_[a];
+        os << "  aggressor " << a << " driver "
+           << spec_.aggressors[a].driverCell << " -> Thevenin V_TH ramp "
+           << m.vStart << "->" << m.vEnd << " V, slew " << m.slew * 1e12
+           << " ps, R_TH " << m.rth << " ohm, delay " << m.delay * 1e12
+           << " ps\n";
+    }
+    if (opt_.usePrima) {
+        os << "  interconnect -> PRIMA reduced multiport, order "
+           << prima_->order() << ", ports " << prima_->ports() << "\n";
+    } else {
+        os << "  interconnect -> coupled-Pi driving-point model\n";
+        for (const auto& n : pi_->nets) {
+            os << "    net " << n.netName << ": C1 " << n.pi.c1 * 1e15
+               << " fF, R " << n.pi.r << " ohm, C2 " << n.pi.c2 * 1e15
+               << " fF\n";
+        }
+        for (const auto& cp : pi_->couplings) {
+            os << "    coupling " << pi_->nets[cp.netA].netName << " <-> "
+               << pi_->nets[cp.netB].netName << ": near "
+               << cp.nearCap * 1e15 << " fF, far " << cp.farCap * 1e15
+               << " fF\n";
+        }
+    }
+    for (std::size_t w = 0; w < rxCaps_.size(); ++w) {
+        os << "  receiver " << w << " -> input cap " << rxCaps_[w] * 1e15
+           << " fF\n";
+    }
+    return os.str();
+}
+
+}  // namespace sna::core

@@ -1,0 +1,48 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sna::core {
+
+double nrcLimitFor(const ClusterSpec& spec, const wave::GlitchMetrics& m) {
+    const cell::CellLibrary lib(*spec.technology);
+    charlib::NrcSpec nrc;
+    nrc.cell = &lib.cell(spec.victim.receiverCell);
+    nrc.input = nrc.cell->inputNames().front();
+    // Quiet receiver input level = the victim's held level.
+    nrc.quietLevel = spec.victim.outputLevel;
+    const double w = std::max(m.width, 2e-11);
+    nrc.widths = {0.5 * w, w, 2.0 * w};
+    const auto curve = charlib::characterizeNrc(nrc);
+    return curve(w);
+}
+
+ClusterReport analyzeCluster(const ClusterSpec& spec,
+                             const ReportOptions& opt) {
+    const ClusterMacromodel model(spec, opt.macromodel);
+
+    ClusterReport report;
+    if (opt.searchAlignment) {
+        auto align = findWorstAlignment(model, opt.alignment);
+        report.worst = std::move(align.worst);
+        report.aggressorSwitchTimes = std::move(align.aggressorSwitchTimes);
+        report.glitchTime = align.glitchTime;
+    } else {
+        report.worst = model.analyze();
+        for (const auto& agg : spec.aggressors) {
+            report.aggressorSwitchTimes.push_back(agg.switchTime);
+        }
+        report.glitchTime = spec.victim.glitchTime;
+    }
+
+    report.nrcLimit = nrcLimitFor(spec, report.worst.metrics);
+    const double height = std::abs(report.worst.metrics.peak);
+    report.fails = height >= report.nrcLimit;
+    report.margin = report.nrcLimit - height;
+    return report;
+}
+
+}  // namespace sna::core

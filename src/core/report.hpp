@@ -1,0 +1,37 @@
+// Cluster-level noise verdicts: worst-case analysis + NRC comparison.
+//
+// The second step of SNA per the paper's introduction: the combined noise
+// at the victim receiver input is checked against the receiver's dynamic
+// noise margin — the Noise Rejection Curve. A glitch whose (width, height)
+// lands above the curve is flagged as a functional failure.
+#pragma once
+
+#include "core/alignment.hpp"
+
+namespace sna::core {
+
+struct ClusterReport {
+    NoiseResult worst;                        ///< macromodel, worst alignment
+    std::vector<double> aggressorSwitchTimes;
+    double glitchTime = 0.0;
+    double nrcLimit = 0.0;   ///< failing height at the glitch's width, V
+    bool fails = false;      ///< |peak| >= nrcLimit
+    double margin = 0.0;     ///< nrcLimit - |peak| (negative = failure)
+};
+
+struct ReportOptions {
+    ClusterMacromodel::Options macromodel;
+    bool searchAlignment = true;
+    AlignmentOptions alignment;
+};
+
+/// The complete per-cluster flow: characterize, find the worst alignment,
+/// and check the victim receiver's NRC.
+ClusterReport analyzeCluster(const ClusterSpec& spec,
+                             const ReportOptions& opt = {});
+
+/// NRC check only (reusable by the design flow): failing height of the
+/// receiver at the measured width.
+double nrcLimitFor(const ClusterSpec& spec, const wave::GlitchMetrics& m);
+
+}  // namespace sna::core

@@ -1,0 +1,134 @@
+#include "core/sna.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace sna::core {
+
+void Design::addInstance(Instance inst) {
+    const cell::Cell& c = lib_->cell(inst.cellName);
+    for (const auto& pin : c.pins()) {
+        if (inst.pinToNet.find(pin.name) == inst.pinToNet.end()) {
+            throw ModelError("instance '" + inst.name + "': pin '" +
+                             pin.name + "' is not connected");
+        }
+    }
+    instances_.push_back(std::move(inst));
+}
+
+const Instance* Design::driverOf(const std::string& net) const {
+    for (const auto& inst : instances_) {
+        const cell::Cell& c = lib_->cell(inst.cellName);
+        const auto it = inst.pinToNet.find(c.outputName());
+        if (it != inst.pinToNet.end() && it->second == net) return &inst;
+    }
+    return nullptr;
+}
+
+std::vector<std::pair<const Instance*, std::string>> Design::loadsOf(
+    const std::string& net) const {
+    std::vector<std::pair<const Instance*, std::string>> out;
+    for (const auto& inst : instances_) {
+        const cell::Cell& c = lib_->cell(inst.cellName);
+        for (const auto& in : c.inputNames()) {
+            const auto it = inst.pinToNet.find(in);
+            if (it != inst.pinToNet.end() && it->second == net) {
+                out.push_back({&inst, in});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<NetNoiseReport> analyzeDesign(const Design& design,
+                                          const parser::SpefFile& spef,
+                                          const DesignNoiseOptions& opt) {
+    std::vector<NetNoiseReport> reports;
+    const cell::CellLibrary& lib = design.library();
+
+    for (const auto& [netName, spefNet] : spef.nets()) {
+        auto aggressors = spef.aggressorsOf(netName);
+        if (aggressors.empty()) continue;
+        const Instance* driver = design.driverOf(netName);
+        if (driver == nullptr) {
+            log::warn() << "SPEF net '" << netName
+                        << "' has coupling but no driver in the design";
+            continue;
+        }
+        const auto loads = design.loadsOf(netName);
+        if (loads.empty()) continue;
+
+        // Keep the strongest-coupled aggressors that have drivers. Coupling
+        // caps may be listed under either net's section, so scan all.
+        auto ownerOf = [](const std::string& node) {
+            return node.substr(0, node.find(':'));
+        };
+        std::vector<std::pair<double, std::string>> ranked;
+        for (const auto& agg : aggressors) {
+            if (spef.nets().find(agg) == spef.nets().end()) continue;
+            if (design.driverOf(agg) == nullptr) continue;
+            double cc = 0.0;
+            for (const auto& [otherName, otherNet] : spef.nets()) {
+                for (const auto& cap : otherNet.caps) {
+                    if (cap.node2.empty()) continue;
+                    const std::string o1 = ownerOf(cap.node1);
+                    const std::string o2 = ownerOf(cap.node2);
+                    if ((o1 == netName && o2 == agg) ||
+                        (o2 == netName && o1 == agg)) {
+                        cc += cap.farads;
+                    }
+                }
+            }
+            ranked.push_back({cc, agg});
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto& a, const auto& b) { return a.first > b.first; });
+        if (ranked.size() > opt.maxAggressors) {
+            ranked.resize(opt.maxAggressors);
+        }
+        if (ranked.empty()) continue;
+
+        std::vector<std::string> clusterNets{netName};
+        for (const auto& [cc, agg] : ranked) clusterNets.push_back(agg);
+        const ic::RcNetwork rc = ic::rcFromSpef(spef, clusterNets);
+
+        NetNoiseReport report;
+        report.net = netName;
+
+        // Both victim holding levels are checked; the worse margin wins.
+        bool first = true;
+        for (const bool level : {false, true}) {
+            ClusterSpec spec;
+            spec.technology = &lib.technology();
+            spec.customNet = &rc;
+            spec.tstop = opt.tstop;
+            spec.victim.driverCell = driver->cellName;
+            spec.victim.outputLevel = level;
+            spec.victim.glitchInput =
+                lib.cell(driver->cellName).inputNames().front();
+            spec.victim.receiverCell = loads.front().first->cellName;
+            for (const auto& [cc, agg] : ranked) {
+                AggressorSpec as;
+                as.driverCell = design.driverOf(agg)->cellName;
+                // The damaging direction: aggressors switch away from the
+                // victim's held level.
+                as.outputRising = !level ? true : false;
+                report.aggressorNets.push_back(agg);
+                spec.aggressors.push_back(as);
+            }
+            auto cluster = analyzeCluster(spec, opt.report);
+            if (first || cluster.margin < report.cluster.margin) {
+                report.cluster = std::move(cluster);
+            }
+            first = false;
+            // aggressorNets were appended twice; trim after the 2nd pass.
+        }
+        report.aggressorNets.resize(ranked.size());
+        reports.push_back(std::move(report));
+    }
+    return reports;
+}
+
+}  // namespace sna::core

@@ -1,0 +1,68 @@
+// Design-level static noise analysis.
+//
+// The "complete methodology" the paper leaves as future work, built on the
+// macromodel: a gate-level design (cell instances + nets) with SPEF
+// parasitics is swept net by net; every net with coupling capacitance
+// becomes a victim cluster (driver from the design, aggressors discovered
+// through the SPEF coupling caps), analyzed at its worst alignment and
+// checked against the receiver's NRC.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "parser/spef_parser.hpp"
+
+namespace sna::core {
+
+struct Instance {
+    std::string name;
+    std::string cellName;
+    /// pin name -> net name.
+    std::map<std::string, std::string> pinToNet;
+};
+
+class Design {
+public:
+    explicit Design(const cell::CellLibrary& lib) : lib_(&lib) {}
+
+    const cell::CellLibrary& library() const { return *lib_; }
+
+    /// Adds an instance; every pin of the cell must be connected.
+    void addInstance(Instance inst);
+
+    const std::vector<Instance>& instances() const { return instances_; }
+
+    /// Instance driving `net` (its output pin is on the net), or nullptr.
+    const Instance* driverOf(const std::string& net) const;
+
+    /// (instance, input pin) pairs loading `net`.
+    std::vector<std::pair<const Instance*, std::string>> loadsOf(
+        const std::string& net) const;
+
+private:
+    const cell::CellLibrary* lib_;
+    std::vector<Instance> instances_;
+};
+
+struct NetNoiseReport {
+    std::string net;
+    std::vector<std::string> aggressorNets;
+    ClusterReport cluster;
+};
+
+struct DesignNoiseOptions {
+    double tstop = 2.5e-9;
+    std::size_t maxAggressors = 3;  ///< strongest-coupled first
+    ReportOptions report;
+};
+
+/// Analyze every SPEF net that has coupling capacitance and a driver and at
+/// least one load in the design. Nets are reported in SPEF order.
+std::vector<NetNoiseReport> analyzeDesign(const Design& design,
+                                          const parser::SpefFile& spef,
+                                          const DesignNoiseOptions& opt = {});
+
+}  // namespace sna::core

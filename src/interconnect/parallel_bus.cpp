@@ -1,0 +1,196 @@
+#include "interconnect/parallel_bus.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sna::ic {
+
+RcNetwork buildParallelBus(const ParallelBusSpec& spec) {
+    SNA_REQUIRE(spec.layer != nullptr, "bus spec needs a wire layer");
+    SNA_REQUIRE(spec.lengthUm > 0.0, "bus length must be positive");
+    SNA_REQUIRE(spec.wires >= 1, "bus needs at least one wire");
+    SNA_REQUIRE(spec.segments >= 1, "bus needs at least one segment");
+    SNA_REQUIRE(spec.netNames.empty() ||
+                    spec.netNames.size() == static_cast<std::size_t>(spec.wires),
+                "netNames must be empty or name every wire");
+
+    RcNetwork net;
+    const int segs = spec.segments;
+    const double segLen = spec.lengthUm / segs;
+    const double rSeg = spec.layer->rPerUm * segLen;
+    const double cgSeg = spec.layer->cgPerUm * segLen;
+    const double ccSeg = spec.layer->ccPerUm * segLen;
+
+    // Nodes: wire w, tap k in [0, segs].
+    std::vector<std::vector<int>> taps(spec.wires);
+    for (int w = 0; w < spec.wires; ++w) {
+        const std::string name = spec.netNames.empty()
+                                     ? "net" + std::to_string(w)
+                                     : spec.netNames[w];
+        for (int k = 0; k <= segs; ++k) {
+            taps[w].push_back(net.addNode(name + ":" + std::to_string(k)));
+        }
+        net.addWire(name, taps[w].front(), taps[w].back());
+    }
+
+    for (int w = 0; w < spec.wires; ++w) {
+        for (int k = 0; k < segs; ++k) {
+            net.addRes(taps[w][k], taps[w][k + 1], rSeg);
+        }
+        // Ground capacitance: half-segment shares at the ends (standard
+        // ladder discretization preserving the total).
+        for (int k = 0; k <= segs; ++k) {
+            const double share = (k == 0 || k == segs) ? 0.5 : 1.0;
+            net.addCap(taps[w][k], RcNetwork::kGroundNode, cgSeg * share);
+        }
+        // Coupling to the next adjacent wire, rung by rung.
+        if (w + 1 < spec.wires) {
+            for (int k = 0; k <= segs; ++k) {
+                const double share = (k == 0 || k == segs) ? 0.5 : 1.0;
+                net.addCap(taps[w][k], taps[w + 1][k], ccSeg * share);
+            }
+        }
+    }
+    return net;
+}
+
+RcNetwork buildStarCluster(const StarClusterSpec& spec) {
+    SNA_REQUIRE(spec.layer != nullptr, "star cluster needs a wire layer");
+    SNA_REQUIRE(spec.aggressors >= 0, "aggressor count must be >= 0");
+    SNA_REQUIRE(spec.segments >= 1, "star cluster needs >= 1 segment");
+    SNA_REQUIRE(spec.ccScale.empty() ||
+                    spec.ccScale.size() ==
+                        static_cast<std::size_t>(spec.aggressors),
+                "ccScale must be empty or name every aggressor");
+
+    RcNetwork net;
+    const int segs = spec.segments;
+    const double segLen = spec.lengthUm / segs;
+    const double rSeg = spec.layer->rPerUm * segLen;
+    const double cgSeg = spec.layer->cgPerUm * segLen;
+    const double ccSeg = spec.layer->ccPerUm * segLen;
+
+    auto addWire = [&](const std::string& name) {
+        std::vector<int> taps;
+        for (int k = 0; k <= segs; ++k) {
+            taps.push_back(net.addNode(name + ":" + std::to_string(k)));
+        }
+        net.addWire(name, taps.front(), taps.back());
+        for (int k = 0; k < segs; ++k) net.addRes(taps[k], taps[k + 1], rSeg);
+        for (int k = 0; k <= segs; ++k) {
+            const double share = (k == 0 || k == segs) ? 0.5 : 1.0;
+            net.addCap(taps[k], RcNetwork::kGroundNode, cgSeg * share);
+        }
+        return taps;
+    };
+
+    const auto victimTaps = addWire("victim");
+    for (int a = 0; a < spec.aggressors; ++a) {
+        const double scale = spec.ccScale.empty() ? 1.0 : spec.ccScale[a];
+        const auto aggTaps = addWire("agg" + std::to_string(a));
+        for (int k = 0; k <= segs; ++k) {
+            const double share = (k == 0 || k == segs) ? 0.5 : 1.0;
+            const double cc = ccSeg * share * scale;
+            if (cc > 0.0) net.addCap(victimTaps[k], aggTaps[k], cc);
+        }
+    }
+    return net;
+}
+
+RcNetwork rcFromSpef(const parser::SpefFile& spef,
+                     const std::vector<std::string>& netNames) {
+    SNA_REQUIRE(!netNames.empty(), "rcFromSpef needs at least the victim net");
+    RcNetwork out;
+    auto ensureNode = [&](const std::string& name) {
+        const int found = out.findNode(name);
+        if (found != -2) return found;
+        return out.addNode(name);
+    };
+    // Which nets are in the cluster (others' coupling goes to ground).
+    auto inCluster = [&](const std::string& node) {
+        const std::string owner = node.substr(0, node.find(':'));
+        for (const auto& n : netNames) {
+            if (n == owner) return true;
+        }
+        return false;
+    };
+
+    for (const auto& name : netNames) {
+        const parser::SpefNet& net = spef.net(name);
+        for (const auto& r : net.ress) {
+            out.addRes(ensureNode(r.node1), ensureNode(r.node2), r.ohms);
+        }
+        std::string driver, receiver;
+        for (const auto& conn : net.conns) {
+            if (conn.direction == 'O' && driver.empty()) {
+                driver = conn.name;
+            } else if (conn.direction == 'I' && receiver.empty()) {
+                receiver = conn.name;
+            }
+        }
+        if (driver.empty()) {
+            throw ModelError("SPEF net '" + name + "' has no driver conn");
+        }
+        if (receiver.empty()) receiver = driver;  // unloaded stub net
+        out.addWire(name, ensureNode(driver), ensureNode(receiver));
+    }
+    for (const auto& name : netNames) {
+        const parser::SpefNet& net = spef.net(name);
+        for (const auto& c : net.caps) {
+            const int a = ensureNode(c.node1);
+            if (c.node2.empty() || !inCluster(c.node2)) {
+                out.addCap(a, RcNetwork::kGroundNode, c.farads);
+            } else {
+                out.addCap(a, ensureNode(c.node2), c.farads);
+            }
+        }
+    }
+    return out;
+}
+
+std::string toSpef(const RcNetwork& net, const std::string& designName) {
+    std::ostringstream os;
+    os << "*SPEF \"IEEE 1481-1998\"\n";
+    os << "*DESIGN \"" << designName << "\"\n";
+    os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n\n";
+    os.precision(9);
+    for (int w = 0; w < net.wireCount(); ++w) {
+        double total = 0.0;
+        for (const auto& c : net.caps()) {
+            if (net.wireOfNode(c.a) == w ||
+                (c.b != RcNetwork::kGroundNode && net.wireOfNode(c.b) == w)) {
+                total += c.farads;
+            }
+        }
+        os << "*D_NET " << net.wireName(w) << ' ' << total * 1e15 << "\n";
+        os << "*CONN\n";
+        os << "*I " << net.nodeName(net.driverNode(w)) << " O\n";
+        os << "*I " << net.nodeName(net.receiverNode(w)) << " I\n";
+        os << "*CAP\n";
+        int idx = 0;
+        for (const auto& c : net.caps()) {
+            // Each cap is emitted exactly once, under its first wire.
+            const int owner = net.wireOfNode(c.a);
+            if (owner != w) continue;
+            if (c.b == RcNetwork::kGroundNode) {
+                os << ++idx << ' ' << net.nodeName(c.a) << ' '
+                   << c.farads * 1e15 << "\n";
+            } else {
+                os << ++idx << ' ' << net.nodeName(c.a) << ' '
+                   << net.nodeName(c.b) << ' ' << c.farads * 1e15 << "\n";
+            }
+        }
+        os << "*RES\n";
+        idx = 0;
+        for (const auto& r : net.resistors()) {
+            if (net.wireOfNode(r.a) != w) continue;
+            os << ++idx << ' ' << net.nodeName(r.a) << ' '
+               << net.nodeName(r.b) << ' ' << r.ohms << "\n";
+        }
+        os << "*END\n\n";
+    }
+    return os.str();
+}
+
+}  // namespace sna::ic

@@ -1,0 +1,59 @@
+// Geometry-driven parasitic builders.
+//
+// buildParallelBus models N parallel-running wires on one routing layer as
+// coupled distributed-RC ladders: each wire is split into `segments` RC
+// sections, with the layer's per-µm coupling capacitance tied rung-by-rung
+// between adjacent wires. This is exactly the paper's experimental setup
+// ("two 500 µm parallel-running interconnects on metal layer 4") scaled to
+// arbitrary widths and counts. A SPEF emitter provides the reverse path for
+// the sign-off example.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interconnect/rc_network.hpp"
+#include "parser/spef_parser.hpp"
+#include "tech/tech.hpp"
+
+namespace sna::ic {
+
+struct ParallelBusSpec {
+    const tech::WireLayer* layer = nullptr;
+    double lengthUm = 500.0;   ///< parallel-run length
+    int wires = 2;             ///< number of adjacent nets
+    int segments = 16;         ///< RC sections per wire
+    std::vector<std::string> netNames;  ///< optional; default "net0", ...
+};
+
+/// Build the coupled ladder. Node names are "<net>:<k>", k = 0 (driver end)
+/// .. segments (receiver end). Adjacent wires couple; non-adjacent do not
+/// (shielding by the middle wire, the standard first-order assumption).
+RcNetwork buildParallelBus(const ParallelBusSpec& spec);
+
+/// Emit the network as SPEF text (*D_NET per wire, coupling caps included),
+/// parsable by parser::parseSpef.
+std::string toSpef(const RcNetwork& net, const std::string& designName);
+
+/// Star noise cluster: wire 0 is the victim; every aggressor wire couples
+/// rung-by-rung to the victim (adjacent routing for the first two, cross
+/// -layer for more). `ccScale[i]` optionally derates aggressor i's coupling
+/// (default 1.0 each). This is the cluster topology of the paper's
+/// experiments: a victim and one-to-several directly coupled aggressors.
+struct StarClusterSpec {
+    const tech::WireLayer* layer = nullptr;
+    double lengthUm = 500.0;
+    int aggressors = 1;
+    int segments = 16;
+    std::vector<double> ccScale;  ///< per-aggressor coupling derate
+};
+RcNetwork buildStarCluster(const StarClusterSpec& spec);
+
+/// Rebuild an RcNetwork from parsed SPEF nets. `netNames[0]` is the victim.
+/// Driver/receiver ports are taken from each net's *CONN entries (direction
+/// 'O' = driver, 'I' = receiver). Caps coupling to nets outside the list
+/// are grounded (their owners are quiet).
+RcNetwork rcFromSpef(const parser::SpefFile& spef,
+                     const std::vector<std::string>& netNames);
+
+}  // namespace sna::ic

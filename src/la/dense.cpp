@@ -1,0 +1,154 @@
+#include "la/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sna::la {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+    DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+void DenseMatrix::setZero() {
+    std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+Vector DenseMatrix::multiply(const Vector& x) const {
+    SNA_REQUIRE(x.size() == cols_, "dimension mismatch in matrix-vector product");
+    Vector y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const double* row = &data_[r * cols_];
+        for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+    SNA_REQUIRE(cols_ == other.rows_, "dimension mismatch in matrix product");
+    DenseMatrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0) continue;
+            for (std::size_t c = 0; c < other.cols_; ++c) {
+                out(r, c) += a * other(k, c);
+            }
+        }
+    }
+    return out;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+    DenseMatrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    }
+    return out;
+}
+
+double DenseMatrix::maxAbs() const {
+    double m = 0.0;
+    for (double v : data_) m = std::max(m, std::abs(v));
+    return m;
+}
+
+DenseLu::DenseLu(DenseMatrix a, double pivotTol) : lu_(std::move(a)) {
+    SNA_REQUIRE(lu_.rows() == lu_.cols(), "LU needs a square matrix");
+    const std::size_t n = lu_.rows();
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivot: largest magnitude in column k at/below the diagonal.
+        std::size_t pivot = k;
+        double best = std::abs(lu_(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double v = std::abs(lu_(r, k));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < pivotTol) {
+            throw ConvergenceError(
+                "singular matrix in dense LU (pivot " + std::to_string(best) +
+                " at column " + std::to_string(k) + ")");
+        }
+        if (pivot != k) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(lu_(k, c), lu_(pivot, c));
+            }
+            std::swap(perm_[k], perm_[pivot]);
+            permSign_ = -permSign_;
+        }
+        const double inv = 1.0 / lu_(k, k);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double factor = lu_(r, k) * inv;
+            if (factor == 0.0) continue;
+            lu_(r, k) = factor;
+            for (std::size_t c = k + 1; c < n; ++c) {
+                lu_(r, c) -= factor * lu_(k, c);
+            }
+        }
+    }
+}
+
+Vector DenseLu::solve(const Vector& b) const {
+    Vector x = b;
+    solveInPlace(x);
+    return x;
+}
+
+void DenseLu::solveInPlace(Vector& b) const {
+    const std::size_t n = lu_.rows();
+    SNA_REQUIRE(b.size() == n, "rhs size mismatch in LU solve");
+    // Apply permutation.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
+    // Forward substitution (unit lower).
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = y[i];
+        for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+        y[i] = acc;
+    }
+    // Back substitution.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * y[j];
+        y[ii] = acc / lu_(ii, ii);
+    }
+    b = std::move(y);
+}
+
+double DenseLu::determinant() const {
+    double det = permSign_;
+    for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+    return det;
+}
+
+Vector solveDense(DenseMatrix a, const Vector& b) {
+    return DenseLu(std::move(a)).solve(b);
+}
+
+double norm2(const Vector& v) {
+    double acc = 0.0;
+    for (double x : v) acc += x * x;
+    return std::sqrt(acc);
+}
+
+double normInf(const Vector& v) {
+    double m = 0.0;
+    for (double x : v) m = std::max(m, std::abs(x));
+    return m;
+}
+
+}  // namespace sna::la

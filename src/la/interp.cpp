@@ -1,0 +1,79 @@
+#include "la/interp.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sna::la {
+
+namespace {
+// Index of the patch containing x: largest i with axis[i] <= x, clamped to
+// [0, n-2] so border queries use the edge patch.
+std::size_t patchIndex(const std::vector<double>& axis, double x) {
+    SNA_REQUIRE(axis.size() >= 2, "interpolation axis needs >= 2 points");
+    const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+    std::size_t i = (it == axis.begin()) ? 0 : (it - axis.begin() - 1);
+    return std::min(i, axis.size() - 2);
+}
+
+void checkAxis(const std::vector<double>& axis) {
+    for (std::size_t i = 1; i < axis.size(); ++i) {
+        SNA_REQUIRE(axis[i] > axis[i - 1],
+                    "interpolation axis must be strictly increasing");
+    }
+}
+}  // namespace
+
+Grid1d::Grid1d(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+    SNA_REQUIRE(x_.size() == y_.size(), "grid1d size mismatch");
+    SNA_REQUIRE(x_.size() >= 2, "grid1d needs >= 2 points");
+    checkAxis(x_);
+}
+
+double Grid1d::operator()(double x) const {
+    const std::size_t i = patchIndex(x_, x);
+    const double xc = std::clamp(x, x_.front(), x_.back());
+    const double f = (xc - x_[i]) / (x_[i + 1] - x_[i]);
+    return y_[i] + f * (y_[i + 1] - y_[i]);
+}
+
+double Grid1d::derivative(double x) const {
+    const std::size_t i = patchIndex(x_, x);
+    return (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);
+}
+
+Grid2d::Grid2d(std::vector<double> x, std::vector<double> y,
+               std::vector<double> z)
+    : x_(std::move(x)), y_(std::move(y)), z_(std::move(z)) {
+    SNA_REQUIRE(x_.size() >= 2 && y_.size() >= 2, "grid2d needs >= 2x2 points");
+    SNA_REQUIRE(z_.size() == x_.size() * y_.size(), "grid2d payload mismatch");
+    checkAxis(x_);
+    checkAxis(y_);
+}
+
+Grid2d::Value Grid2d::eval(double x, double y) const {
+    SNA_REQUIRE(!empty(), "evaluating an empty grid2d");
+    const std::size_t ix = patchIndex(x_, x);
+    const std::size_t iy = patchIndex(y_, y);
+    const double xc = std::clamp(x, x_.front(), x_.back());
+    const double yc = std::clamp(y, y_.front(), y_.back());
+    const double dx = x_[ix + 1] - x_[ix];
+    const double dy = y_[iy + 1] - y_[iy];
+    const double fx = (xc - x_[ix]) / dx;
+    const double fy = (yc - y_[iy]) / dy;
+
+    const double z00 = at(ix, iy);
+    const double z10 = at(ix + 1, iy);
+    const double z01 = at(ix, iy + 1);
+    const double z11 = at(ix + 1, iy + 1);
+
+    Value v;
+    v.z = z00 * (1 - fx) * (1 - fy) + z10 * fx * (1 - fy) +
+          z01 * (1 - fx) * fy + z11 * fx * fy;
+    v.dzdx = ((z10 - z00) * (1 - fy) + (z11 - z01) * fy) / dx;
+    v.dzdy = ((z01 - z00) * (1 - fx) + (z11 - z10) * fx) / dy;
+    return v;
+}
+
+}  // namespace sna::la

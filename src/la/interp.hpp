@@ -1,0 +1,69 @@
+// Interpolation tables.
+//
+// Grid1d: piecewise-linear y(x) on a strictly increasing axis.
+// Grid2d: bilinear z(x, y) on a rectilinear grid with exact per-patch
+// partial derivatives — the storage format of the paper's load-curve tables
+// I_DC = f(V_in, V_out) (Eq. (1)) and of the noise-propagation tables.
+// Evaluation outside the grid clamps to the border patch (flat
+// extrapolation of the edge gradient is deliberately avoided: load curves
+// are characterized over the full noise swing, so leaving the grid is a
+// characterization bug we clamp instead of amplifying).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sna::la {
+
+class Grid1d {
+public:
+    Grid1d() = default;
+    Grid1d(std::vector<double> x, std::vector<double> y);
+
+    bool empty() const { return x_.empty(); }
+    std::size_t size() const { return x_.size(); }
+    const std::vector<double>& xs() const { return x_; }
+    const std::vector<double>& ys() const { return y_; }
+
+    double operator()(double x) const;
+    double derivative(double x) const;
+
+private:
+    std::vector<double> x_;
+    std::vector<double> y_;
+};
+
+class Grid2d {
+public:
+    Grid2d() = default;
+
+    /// z has x.size()*y.size() entries, row r = x index, column c = y index,
+    /// stored row-major as z[r * y.size() + c].
+    Grid2d(std::vector<double> x, std::vector<double> y, std::vector<double> z);
+
+    bool empty() const { return x_.empty(); }
+    const std::vector<double>& xs() const { return x_; }
+    const std::vector<double>& ys() const { return y_; }
+
+    double at(std::size_t ix, std::size_t iy) const {
+        return z_[ix * y_.size() + iy];
+    }
+
+    struct Value {
+        double z;    ///< interpolated value
+        double dzdx; ///< partial wrt first axis (exact on the patch)
+        double dzdy; ///< partial wrt second axis
+    };
+
+    /// Bilinear interpolation with partials; clamps outside the grid.
+    Value eval(double x, double y) const;
+
+    double operator()(double x, double y) const { return eval(x, y).z; }
+
+private:
+    std::vector<double> x_;
+    std::vector<double> y_;
+    std::vector<double> z_;
+};
+
+}  // namespace sna::la

@@ -1,0 +1,95 @@
+// Sparse linear algebra for MNA systems.
+//
+// SparseMatrix is a triplet accumulator (duplicate entries sum, matching MNA
+// stamping) with conversion to sorted row storage. SparseLu performs
+// Gaussian elimination on dynamic row lists with diagonal pivoting and a
+// one-time minimum-degree-flavored ordering; MNA matrices assembled with a
+// gmin on every node diagonal are diagonally dominant enough for this to be
+// robust, and the engine falls back to dense LU if a diagonal pivot
+// collapses. For the RC-ladder-dominated circuits of this library the
+// factor stays near-banded, which is where the SPICE engine's speed
+// comes from.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace sna::la {
+
+/// Triplet-accumulating sparse matrix (square), duplicates summed.
+class SparseMatrix {
+public:
+    explicit SparseMatrix(std::size_t n = 0);
+
+    std::size_t size() const { return n_; }
+
+    /// Accumulate a(r,c) += v (MNA stamp).
+    void add(std::size_t r, std::size_t c, double v);
+
+    /// Drop all entries, keep dimension.
+    void clear();
+
+    /// y = A x (consolidates duplicates on the fly).
+    Vector multiply(const Vector& x) const;
+
+    /// Consolidated rows: per row, sorted unique (col, value) pairs.
+    struct Entry {
+        std::size_t col;
+        double value;
+    };
+    std::vector<std::vector<Entry>> consolidatedRows() const;
+
+    /// Dense copy, for tests and the dense fallback.
+    DenseMatrix toDense() const;
+
+    std::size_t nnz() const { return trips_.size(); }
+
+private:
+    struct Triplet {
+        std::size_t r, c;
+        double v;
+    };
+    std::size_t n_ = 0;
+    std::vector<Triplet> trips_;
+};
+
+/// Sparse LU via Gaussian elimination on row lists, diagonal pivoting.
+///
+/// The elimination order is chosen once from the sparsity pattern with a
+/// greedy minimum-degree heuristic; the numeric factorization runs in that
+/// order. Throws sna::ConvergenceError when a diagonal pivot is smaller than
+/// `pivotTol` — callers are expected to fall back to dense LU (MNA callers
+/// guarantee nonzero diagonals via gmin, so this is rare).
+class SparseLu {
+public:
+    explicit SparseLu(const SparseMatrix& a, double pivotTol = 1e-13);
+
+    std::size_t size() const { return n_; }
+
+    Vector solve(const Vector& b) const;
+
+    /// Fill-in statistics: nonzeros in L+U (diagnostic, bench_mor uses it).
+    std::size_t factorNnz() const { return factorNnz_; }
+
+private:
+    std::size_t n_ = 0;
+    std::size_t factorNnz_ = 0;
+    // Factor storage in elimination order: for step k, the pivot row
+    // (columns > pivot) and the column multipliers below it.
+    struct FactorEntry {
+        std::size_t index;
+        double value;
+    };
+    std::vector<std::size_t> order_;        // elimination order -> original row
+    std::vector<std::size_t> inverseOrder_; // original row -> elimination step
+    std::vector<double> pivots_;
+    std::vector<std::vector<FactorEntry>> upper_;  // per step: cols (orig idx)
+    std::vector<std::vector<FactorEntry>> lower_;  // per step: rows (orig idx)
+};
+
+/// Solve A x = b choosing sparse elimination with dense fallback.
+Vector solveSparse(const SparseMatrix& a, const Vector& b);
+
+}  // namespace sna::la

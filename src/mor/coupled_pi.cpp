@@ -1,0 +1,111 @@
+#include "mor/coupled_pi.hpp"
+
+#include <algorithm>
+
+#include "mor/linear_network.hpp"
+#include "util/error.hpp"
+
+namespace sna::mor {
+
+std::vector<spice::NodeId> CoupledPiModel::buildInto(
+    spice::Circuit& c, const std::string& prefix,
+    const std::vector<spice::NodeId>& portNodes) const {
+    SNA_REQUIRE(portNodes.size() == nets.size(),
+                "need one driving-point node per reduced net");
+    std::vector<spice::NodeId> far(nets.size());
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        const auto& n = nets[i];
+        const std::string base = prefix + n.netName;
+        if (n.pi.r > 0.0 && n.pi.c2 > 0.0) {
+            far[i] = c.node(base + ":far");
+            c.addResistor(base + ":rpi", portNodes[i], far[i], n.pi.r);
+            c.addCapacitor(base + ":c2", far[i], spice::kGround, n.pi.c2);
+        } else {
+            far[i] = portNodes[i];  // lumped: no resistive shielding
+        }
+        if (n.pi.c1 > 0.0) {
+            c.addCapacitor(base + ":c1", portNodes[i], spice::kGround,
+                           n.pi.c1);
+        }
+    }
+    int k = 0;
+    for (const auto& cp : couplings) {
+        if (cp.nearCap > 0.0) {
+            c.addCapacitor(prefix + "ccn" + std::to_string(++k),
+                           portNodes[cp.netA], portNodes[cp.netB], cp.nearCap);
+        }
+        if (cp.farCap > 0.0) {
+            c.addCapacitor(prefix + "ccf" + std::to_string(++k),
+                           far[cp.netA], far[cp.netB], cp.farCap);
+        }
+    }
+    return far;
+}
+
+CoupledPiModel reduceCluster(const ic::RcNetwork& net, double nearSplit) {
+    SNA_REQUIRE(nearSplit < 0.0 || nearSplit <= 1.0,
+                "nearSplit must be a fraction or negative for auto");
+    SNA_REQUIRE(net.wireCount() >= 1, "cluster needs at least one wire");
+    const LinearNetwork lin(net);
+
+    CoupledPiModel out;
+    std::vector<double> fracNear(net.wireCount(), 0.5);
+    for (int w = 0; w < net.wireCount(); ++w) {
+        std::vector<int> shorted;
+        for (int o = 0; o < net.wireCount(); ++o) {
+            if (o != w) shorted.push_back(net.driverNode(o));
+        }
+        const auto moments =
+            lin.admittanceMoments(net.driverNode(w), shorted, 3);
+        CoupledPiModel::NetPi np;
+        np.netName = net.wireName(w);
+        np.pi = piFromMoments(moments);
+        np.elmore = lin.elmoreDelay(net, w);
+
+        // The moments above see coupling caps as grounded (neighbors are
+        // shorted); the explicit coupling caps added below would otherwise
+        // be counted twice. Remove the coupling image from the Pi caps so
+        // that the reduced self-admittance m1 stays exact. The near/far
+        // split follows the Pi's own charge distribution (auto mode) — for
+        // a uniform line the O'Brien-Savarino Pi lumps ~5/6 of the cap at
+        // the far node, and the coupling is distributed the same way.
+        const double total = np.pi.totalCap();
+        const double frac =
+            (nearSplit >= 0.0) ? nearSplit
+                               : (total > 0.0 ? np.pi.c1 / total : 0.5);
+        fracNear[w] = frac;
+        double ccTotal = 0.0;
+        for (int o = 0; o < net.wireCount(); ++o) {
+            if (o != w) ccTotal += net.couplingCapBetween(w, o);
+        }
+        double nearCut = frac * ccTotal;
+        double farCut = (1.0 - frac) * ccTotal;
+        if (np.pi.c2 < farCut) {  // shift the unrepresentable share near
+            nearCut += farCut - np.pi.c2;
+            farCut = np.pi.c2;
+        }
+        if (np.pi.c1 + 1e-21 < nearCut) {
+            throw ModelError("coupled-Pi reduction: coupling exceeds the "
+                             "net capacitance of '" + np.netName + "'");
+        }
+        np.pi.c1 = std::max(0.0, np.pi.c1 - nearCut);
+        np.pi.c2 -= farCut;
+        out.nets.push_back(std::move(np));
+    }
+    for (int a = 0; a < net.wireCount(); ++a) {
+        for (int b = a + 1; b < net.wireCount(); ++b) {
+            const double cc = net.couplingCapBetween(a, b);
+            if (cc <= 0.0) continue;
+            CoupledPiModel::Coupling cp;
+            cp.netA = a;
+            cp.netB = b;
+            const double frac = 0.5 * (fracNear[a] + fracNear[b]);
+            cp.nearCap = frac * cc;
+            cp.farCap = (1.0 - frac) * cc;
+            out.couplings.push_back(cp);
+        }
+    }
+    return out;
+}
+
+}  // namespace sna::mor

@@ -1,0 +1,53 @@
+// Coupled-Pi reduction of a noise-cluster interconnect.
+//
+// Our realization of the paper's coupled driving-point macromodel: each net
+// collapses to a Pi section that preserves its first three driving-point
+// admittance moments (with the other nets' drivers shorted, i.e. held by
+// their low-impedance drivers), and each coupled pair keeps its TOTAL
+// coupling capacitance (the first transfer moment, preserved exactly),
+// split between near and far Pi nodes according to the spatial distribution
+// of the coupling along the run (0.5/0.5 for uniform parallel wires).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interconnect/rc_network.hpp"
+#include "mor/pi_model.hpp"
+#include "spice/circuit.hpp"
+
+namespace sna::mor {
+
+struct CoupledPiModel {
+    struct NetPi {
+        std::string netName;
+        PiModel pi;
+        double elmore = 0.0;  ///< driver->receiver Elmore delay, s
+    };
+    struct Coupling {
+        int netA = 0;
+        int netB = 0;
+        double nearCap = 0.0;  ///< between the two driving-point nodes
+        double farCap = 0.0;   ///< between the two far nodes
+    };
+
+    std::vector<NetPi> nets;
+    std::vector<Coupling> couplings;
+
+    /// Total node count of the reduced model (2 per net).
+    int nodeCount() const { return 2 * static_cast<int>(nets.size()); }
+
+    /// Materialize as R/C devices. `portNodes[i]` is the existing circuit
+    /// node of net i's driving point; far nodes are created as
+    /// "<prefix><net>:far". Returns the far-node ids (receiver-side probes).
+    std::vector<spice::NodeId> buildInto(
+        spice::Circuit& c, const std::string& prefix,
+        const std::vector<spice::NodeId>& portNodes) const;
+};
+
+/// Reduce a cluster: one Pi per wire (other drivers shorted), total
+/// coupling preserved. `nearSplit` in [0,1] forces the near-node coupling
+/// fraction; negative (default) follows each Pi's own C1/C2 distribution.
+CoupledPiModel reduceCluster(const ic::RcNetwork& net, double nearSplit = -1.0);
+
+}  // namespace sna::mor

@@ -1,0 +1,215 @@
+#include "mor/linear_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace sna::mor {
+
+LinearNetwork::LinearNetwork(const ic::RcNetwork& net)
+    : n_(net.nodeCount()), g_(net.nodeCount(), net.nodeCount()),
+      c_(net.nodeCount(), net.nodeCount()) {
+    for (const auto& r : net.resistors()) {
+        const double g = 1.0 / r.ohms;
+        g_(r.a, r.a) += g;
+        g_(r.b, r.b) += g;
+        g_(r.a, r.b) -= g;
+        g_(r.b, r.a) -= g;
+    }
+    for (const auto& cap : net.caps()) {
+        c_(cap.a, cap.a) += cap.farads;
+        if (cap.b != ic::RcNetwork::kGroundNode) {
+            c_(cap.b, cap.b) += cap.farads;
+            c_(cap.a, cap.b) -= cap.farads;
+            c_(cap.b, cap.a) -= cap.farads;
+        }
+    }
+}
+
+namespace {
+
+// Shared solver for port-excitation moment recursions: F = fixed nodes with
+// voltages vF; returns the per-order internal solutions x_0..x_{count-1}.
+struct MomentSolution {
+    std::vector<int> internalOf;           // node -> internal index or -1
+    std::vector<int> internalNodes;        // internal index -> node
+    std::vector<la::Vector> x;             // internal solutions per order
+};
+
+MomentSolution solveMoments(const la::DenseMatrix& g, const la::DenseMatrix& c,
+                            const std::vector<int>& fixedNodes,
+                            const std::vector<double>& fixedValues,
+                            int count) {
+    const int n = static_cast<int>(g.rows());
+    MomentSolution sol;
+    sol.internalOf.assign(n, -1);
+    std::vector<char> isFixed(n, 0);
+    for (std::size_t i = 0; i < fixedNodes.size(); ++i) {
+        isFixed[fixedNodes[i]] = 1;
+    }
+    for (int i = 0; i < n; ++i) {
+        if (!isFixed[i]) {
+            sol.internalOf[i] = static_cast<int>(sol.internalNodes.size());
+            sol.internalNodes.push_back(i);
+        }
+    }
+    const int ni = static_cast<int>(sol.internalNodes.size());
+
+    la::DenseMatrix gii(ni, ni);
+    for (int a = 0; a < ni; ++a) {
+        for (int b = 0; b < ni; ++b) {
+            gii(a, b) = g(sol.internalNodes[a], sol.internalNodes[b]);
+        }
+    }
+    std::unique_ptr<la::DenseLu> lu;
+    try {
+        lu = std::make_unique<la::DenseLu>(gii);
+    } catch (const ConvergenceError&) {
+        throw ModelError(
+            "moment computation: an internal node has no resistive path to "
+            "any fixed port (short the other drivers first)");
+    }
+
+    // Order 0: G_II x0 = -G_IF vF.
+    la::Vector rhs(ni, 0.0);
+    for (int a = 0; a < ni; ++a) {
+        double acc = 0.0;
+        for (std::size_t f = 0; f < fixedNodes.size(); ++f) {
+            acc -= g(sol.internalNodes[a], fixedNodes[f]) * fixedValues[f];
+        }
+        rhs[a] = acc;
+    }
+    sol.x.push_back(lu->solve(rhs));
+
+    // Higher orders: G_II xk = -C_II x_{k-1} - [k==1] C_IF vF.
+    for (int k = 1; k < count; ++k) {
+        for (int a = 0; a < ni; ++a) {
+            double acc = 0.0;
+            for (int b = 0; b < ni; ++b) {
+                acc -= c(sol.internalNodes[a], sol.internalNodes[b]) *
+                       sol.x[k - 1][b];
+            }
+            if (k == 1) {
+                for (std::size_t f = 0; f < fixedNodes.size(); ++f) {
+                    acc -= c(sol.internalNodes[a], fixedNodes[f]) *
+                           fixedValues[f];
+                }
+            }
+            rhs[a] = acc;
+        }
+        sol.x.push_back(lu->solve(rhs));
+    }
+    return sol;
+}
+
+// Current into observation node `obs` (a fixed node) per moment order.
+std::vector<double> observeCurrents(const la::DenseMatrix& g,
+                                    const la::DenseMatrix& c, int obs,
+                                    const std::vector<int>& fixedNodes,
+                                    const std::vector<double>& fixedValues,
+                                    const MomentSolution& sol, int count) {
+    std::vector<double> y(count + 1, 0.0);  // y[0] unused slot for k offset
+    for (int k = 0; k <= count; ++k) {
+        double acc = 0.0;
+        // G row terms at order k (from x_k), C row terms (from x_{k-1}).
+        if (k < static_cast<int>(sol.x.size())) {
+            for (std::size_t b = 0; b < sol.internalNodes.size(); ++b) {
+                acc += g(obs, sol.internalNodes[b]) * sol.x[k][b];
+            }
+        }
+        if (k >= 1) {
+            for (std::size_t b = 0; b < sol.internalNodes.size(); ++b) {
+                acc += c(obs, sol.internalNodes[b]) * sol.x[k - 1][b];
+            }
+        }
+        if (k == 0) {
+            for (std::size_t f = 0; f < fixedNodes.size(); ++f) {
+                acc += g(obs, fixedNodes[f]) * fixedValues[f];
+            }
+        }
+        if (k == 1) {
+            for (std::size_t f = 0; f < fixedNodes.size(); ++f) {
+                acc += c(obs, fixedNodes[f]) * fixedValues[f];
+            }
+        }
+        y[k] = acc;
+    }
+    return y;
+}
+
+}  // namespace
+
+std::vector<double> LinearNetwork::admittanceMoments(
+    int port, const std::vector<int>& shortedPorts, int count) const {
+    SNA_REQUIRE(port >= 0 && port < n_, "port out of range");
+    SNA_REQUIRE(count >= 1, "need at least one moment");
+    std::vector<int> fixed{port};
+    std::vector<double> values{1.0};
+    for (int p : shortedPorts) {
+        SNA_REQUIRE(p != port, "port cannot short itself");
+        fixed.push_back(p);
+        values.push_back(0.0);
+    }
+    // y_k needs the order-k internal solution for its G-row term.
+    const auto sol = solveMoments(g_, c_, fixed, values, count + 1);
+    auto y = observeCurrents(g_, c_, port, fixed, values, sol, count);
+    // y[0] must vanish for RC nets with no resistive ground path; a nonzero
+    // value would mean a resistive leak the reduction cannot represent.
+    if (std::abs(y[0]) > 1e-9) {
+        throw ModelError("driving-point y0 != 0: net has a resistive path "
+                         "to a fixed node; Pi reduction does not apply");
+    }
+    return {y.begin() + 1, y.end()};  // y_1..y_count
+}
+
+std::vector<double> LinearNetwork::transferMoments(int driven, int shorted,
+                                                   int count) const {
+    SNA_REQUIRE(driven >= 0 && driven < n_ && shorted >= 0 && shorted < n_,
+                "port out of range");
+    const std::vector<int> fixed{driven, shorted};
+    const std::vector<double> values{1.0, 0.0};
+    const auto sol = solveMoments(g_, c_, fixed, values, count + 1);
+    const auto y =
+        observeCurrents(g_, c_, shorted, fixed, values, sol, count);
+    return {y.begin() + 1, y.end()};
+}
+
+double LinearNetwork::elmoreDelay(const ic::RcNetwork& net, int wire) const {
+    // Tree traversal from the driver accumulating upstream resistance.
+    const int root = net.driverNode(wire);
+    std::vector<double> upstream(net.nodeCount(), -1.0);
+    std::vector<std::vector<std::pair<int, double>>> adj(net.nodeCount());
+    for (const auto& r : net.resistors()) {
+        adj[r.a].push_back({r.b, r.ohms});
+        adj[r.b].push_back({r.a, r.ohms});
+    }
+    std::queue<int> q;
+    upstream[root] = 0.0;
+    q.push(root);
+    while (!q.empty()) {
+        const int a = q.front();
+        q.pop();
+        for (const auto& [b, ohms] : adj[a]) {
+            if (upstream[b] >= 0.0) continue;
+            upstream[b] = upstream[a] + ohms;
+            q.push(b);
+        }
+    }
+    double delay = 0.0;
+    for (const auto& cap : net.caps()) {
+        // Count the cap at each of its terminals that belongs to this wire
+        // (coupling caps load both nets; for Elmore we treat them as ground
+        // loads — the standard conservative convention).
+        for (const int nd : {cap.a, cap.b}) {
+            if (nd == ic::RcNetwork::kGroundNode) continue;
+            if (net.wireOfNode(nd) != wire || upstream[nd] < 0.0) continue;
+            delay += cap.farads * upstream[nd];
+        }
+    }
+    return delay;
+}
+
+}  // namespace sna::mor

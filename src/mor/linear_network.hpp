@@ -1,0 +1,51 @@
+// Dense (G, C) view of a coupled RC network and its moments.
+//
+// The moment-matching machinery of the paper's interconnect reduction ([8]
+// in the paper: Forzan et al., CICC'98): driving-point admittance moments
+// are computed by recursive DC-like solves against the conductance matrix
+// with the ports held at fixed voltages, which is well-posed even for
+// floating (capacitively loaded) nets because every internal node has a
+// resistive path to a port.
+#pragma once
+
+#include <vector>
+
+#include "interconnect/rc_network.hpp"
+#include "la/dense.hpp"
+
+namespace sna::mor {
+
+class LinearNetwork {
+public:
+    explicit LinearNetwork(const ic::RcNetwork& net);
+
+    int size() const { return n_; }
+    const la::DenseMatrix& G() const { return g_; }
+    const la::DenseMatrix& C() const { return c_; }
+
+    /// Admittance moments y_1..y_count at `port` (y_0 = 0 for RC nets with
+    /// no resistive ground path, and is checked): y(s) = sum_k y_k s^k where
+    /// y(s) is the current into the port at unit port voltage and all
+    /// `shortedPorts` grounded.
+    std::vector<double> admittanceMoments(int port,
+                                          const std::vector<int>& shortedPorts,
+                                          int count) const;
+
+    /// Transfer admittance moments: current into `shorted` observation port
+    /// (held at 0) when `driven` port is at unit voltage; t(s) = sum t_k s^k.
+    std::vector<double> transferMoments(int driven, int shorted,
+                                        int count) const;
+
+    /// Elmore-style delay of the path driver->receiver of a wire when only
+    /// that wire is driven (others floating): sum over the wire's nodes of
+    /// node-total-cap times upstream resistance. Used by tests and the
+    /// Pi-model receiver estimate.
+    double elmoreDelay(const ic::RcNetwork& net, int wire) const;
+
+private:
+    int n_ = 0;
+    la::DenseMatrix g_;
+    la::DenseMatrix c_;
+};
+
+}  // namespace sna::mor

@@ -1,0 +1,45 @@
+#include "mor/pi_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sna::mor {
+
+std::vector<double> PiModel::admittanceMoments() const {
+    return {c1 + c2, -r * c2 * c2, r * r * c2 * c2 * c2};
+}
+
+PiModel piFromMoments(const std::vector<double>& moments) {
+    if (moments.size() < 3) {
+        throw ModelError("Pi synthesis needs three admittance moments");
+    }
+    const double y1 = moments[0];
+    const double y2 = moments[1];
+    const double y3 = moments[2];
+    if (y1 <= 0.0) {
+        throw ModelError("Pi synthesis: y1 must be positive (total cap)");
+    }
+    // Lumped-network degeneracy: no resistive shielding to represent.
+    if (std::abs(y2) < 1e-12 * y1 * y1 || y3 <= 0.0) {
+        return {y1, 0.0, 0.0};
+    }
+    if (y2 >= 0.0) {
+        throw ModelError("Pi synthesis: y2 must be negative for RC nets");
+    }
+    PiModel pi;
+    pi.c2 = (y2 * y2) / y3;
+    pi.r = -(y3 * y3) / (y2 * y2 * y2);
+    pi.c1 = y1 - pi.c2;
+    if (pi.c1 < 0.0) {
+        // Heavily far-loaded nets can push C1 slightly negative through
+        // rounding; clamp tiny violations, reject real ones.
+        if (pi.c1 < -0.05 * y1) {
+            throw ModelError("Pi synthesis produced negative near cap");
+        }
+        pi.c1 = 0.0;
+    }
+    return pi;
+}
+
+}  // namespace sna::mor

@@ -1,0 +1,33 @@
+// O'Brien–Savarino Pi-model synthesis from driving-point moments.
+//
+// A Pi section (near cap C1, series R, far cap C2) whose input admittance
+// Y(s) = sC1 + sC2 / (1 + sRC2) matches the first three admittance moments
+// of the original RC network exactly:
+//   y1 = C1 + C2,   y2 = -R C2^2,   y3 = R^2 C2^3.
+// This is the per-net piece of the paper's "coupled-S model obtained with
+// moment-matching techniques" at the victim/aggressor driving points.
+#pragma once
+
+#include <vector>
+
+namespace sna::mor {
+
+struct PiModel {
+    double c1 = 0.0;  ///< near (driving-point side) capacitance, F
+    double r = 0.0;   ///< series resistance, ohm
+    double c2 = 0.0;  ///< far capacitance, F
+
+    /// Total capacitance seen at DC.
+    double totalCap() const { return c1 + c2; }
+
+    /// Admittance moments y1..y3 realized by this Pi (for verification).
+    std::vector<double> admittanceMoments() const;
+};
+
+/// Synthesize from y1..y3 (moments.size() >= 3). Throws sna::ModelError if
+/// the moments are not RC-realizable (y1 <= 0, y2 >= 0, or y3 <= 0). A
+/// numerically lumped network (|y2| negligible vs y1^2 * 1 ohm) collapses to
+/// a capacitor: r = 0, c2 = 0, c1 = y1.
+PiModel piFromMoments(const std::vector<double>& moments);
+
+}  // namespace sna::mor

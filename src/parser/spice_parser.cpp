@@ -1,0 +1,397 @@
+#include "parser/spice_parser.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "waveform/waveform.hpp"
+
+namespace sna::parser {
+
+namespace {
+
+struct Line {
+    int number = 0;       // 1-based line of the first physical line
+    std::string text;     // continuation-joined logical line
+};
+
+// Join '+' continuations, drop comments and blanks.
+std::vector<Line> logicalLines(const std::string& text) {
+    std::vector<Line> out;
+    std::istringstream is(text);
+    std::string raw;
+    int lineNo = 0;
+    while (std::getline(is, raw)) {
+        ++lineNo;
+        // Strip end-of-line comments introduced by '$' or ';'.
+        const std::size_t dollar = raw.find_first_of("$;");
+        if (dollar != std::string::npos) raw.resize(dollar);
+        const std::string_view t = str::trim(raw);
+        if (t.empty() || t.front() == '*') continue;
+        if (t.front() == '+') {
+            if (out.empty()) {
+                throw ParseError("continuation with no preceding card",
+                                 lineNo);
+            }
+            out.back().text += ' ';
+            out.back().text += std::string(t.substr(1));
+        } else {
+            out.push_back({lineNo, std::string(t)});
+        }
+    }
+    return out;
+}
+
+double number(std::string_view token, int line) {
+    const auto v = str::parseSpiceNumber(token);
+    if (!v) {
+        throw ParseError("malformed number '" + std::string(token) + "'",
+                         line);
+    }
+    return *v;
+}
+
+// Parse "key=value" pairs from tokens[start..].
+std::map<std::string, double> keyValues(
+    const std::vector<std::string_view>& tokens, std::size_t start, int line) {
+    std::map<std::string, double> kv;
+    for (std::size_t i = start; i < tokens.size(); ++i) {
+        const std::string_view t = tokens[i];
+        const std::size_t eq = t.find('=');
+        if (eq == std::string_view::npos) {
+            throw ParseError("expected key=value, got '" + std::string(t) +
+                                 "'",
+                             line);
+        }
+        kv[str::toLower(t.substr(0, eq))] = number(t.substr(eq + 1), line);
+    }
+    return kv;
+}
+
+// Parse "dc 1.2" or "pwl(t v t v ...)" or a bare number.
+spice::SourceSpec sourceSpec(const std::string& rest, int line) {
+    const std::string low = str::toLower(str::trim(rest));
+    if (low.rfind("pwl", 0) == 0) {
+        const std::size_t open = low.find('(');
+        const std::size_t close = low.rfind(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close <= open) {
+            throw ParseError("malformed pwl() source", line);
+        }
+        // Bind the substring first: split() returns views into its argument.
+        const std::string payload = low.substr(open + 1, close - open - 1);
+        const auto nums = str::split(payload, " \t,");
+        if (nums.size() < 4 || nums.size() % 2 != 0) {
+            throw ParseError("pwl() needs an even number (>= 4) of values",
+                             line);
+        }
+        std::vector<wave::Sample> samples;
+        for (std::size_t i = 0; i < nums.size(); i += 2) {
+            samples.push_back({number(nums[i], line), number(nums[i + 1],
+                                                             line)});
+        }
+        try {
+            return spice::SourceSpec::pwl(wave::Waveform(std::move(samples)));
+        } catch (const Error& e) {
+            throw ParseError(std::string("bad pwl source: ") + e.what(), line);
+        }
+    }
+    auto tokens = str::split(low);
+    if (!tokens.empty() && str::iequals(tokens[0], "dc")) {
+        tokens.erase(tokens.begin());
+    }
+    if (tokens.size() != 1) {
+        throw ParseError("expected 'dc <value>', 'pwl(...)' or a value",
+                         line);
+    }
+    return spice::SourceSpec::dc(number(tokens[0], line));
+}
+
+class SpiceParser {
+public:
+    SpiceNetlist run(const std::string& text) {
+        const auto lines = logicalLines(text);
+        std::size_t i = 0;
+        while (i < lines.size()) {
+            const Line& ln = lines[i];
+            const auto tokens = str::split(ln.text);
+            const std::string first = str::toLower(tokens[0]);
+            if (first == ".subckt") {
+                i = parseSubckt(lines, i);
+                continue;
+            }
+            if (first == ".model") {
+                parseModel(tokens, ln.number);
+            } else if (first == ".end") {
+                break;
+            } else if (first[0] == '.') {
+                throw ParseError("unsupported directive '" + first + "'",
+                                 ln.number);
+            } else {
+                element(ln.text, ln.number, /*prefix=*/"",
+                        /*portMap=*/{});
+            }
+            ++i;
+        }
+        return std::move(result_);
+    }
+
+private:
+    // ---- directives -------------------------------------------------------
+
+    std::size_t parseSubckt(const std::vector<Line>& lines, std::size_t i) {
+        const Line& head = lines[i];
+        const auto tokens = str::split(head.text);
+        if (tokens.size() < 3) {
+            throw ParseError(".subckt needs a name and ports", head.number);
+        }
+        Subckt sub;
+        sub.name = str::toLower(tokens[1]);
+        for (std::size_t k = 2; k < tokens.size(); ++k) {
+            sub.ports.push_back(str::toLower(tokens[k]));
+        }
+        ++i;
+        while (i < lines.size()) {
+            const auto t = str::split(lines[i].text);
+            if (str::iequals(t[0], ".ends")) {
+                result_.subckts()[sub.name] = std::move(sub);
+                return i + 1;
+            }
+            if (!t.empty() && t[0][0] == '.') {
+                throw ParseError("directives are not allowed inside .subckt",
+                                 lines[i].number);
+            }
+            sub.body.push_back(lines[i].text);
+            ++i;
+        }
+        throw ParseError(".subckt '" + sub.name + "' missing .ends",
+                         head.number);
+    }
+
+    void parseModel(const std::vector<std::string_view>& tokens, int line) {
+        if (tokens.size() < 3) {
+            throw ParseError(".model needs a name and a type", line);
+        }
+        const std::string name = str::toLower(tokens[1]);
+        const std::string type = str::toLower(tokens[2]);
+        spice::MosModel m;
+        if (type == "nmos") {
+            m.type = spice::MosType::Nmos;
+        } else if (type == "pmos") {
+            m.type = spice::MosType::Pmos;
+        } else {
+            throw ParseError("unsupported model type '" + type + "'", line);
+        }
+        // Re-join the parameter tail and strip parentheses.
+        std::string tail;
+        for (std::size_t k = 3; k < tokens.size(); ++k) {
+            tail += ' ';
+            tail += std::string(tokens[k]);
+        }
+        tail.erase(std::remove(tail.begin(), tail.end(), '('), tail.end());
+        tail.erase(std::remove(tail.begin(), tail.end(), ')'), tail.end());
+        const auto kv = keyValues(str::split(tail), 0, line);
+        for (const auto& [key, value] : kv) {
+            if (key == "level") {
+                if (value != 1.0) {
+                    throw ParseError("only level=1 models are supported",
+                                     line);
+                }
+            } else if (key == "vto") {
+                m.vt0 = value;
+            } else if (key == "kp") {
+                m.kp = value;
+            } else if (key == "lambda") {
+                m.lambda = value;
+            } else if (key == "gamma") {
+                m.gamma = value;
+            } else if (key == "phi") {
+                m.phi = value;
+            } else if (key == "cox") {
+                m.cox = value;
+            } else if (key == "cgso") {
+                m.cgso = value;
+            } else if (key == "cgdo") {
+                m.cgdo = value;
+            } else if (key == "cj") {
+                m.cj = value;
+            } else if (key == "cjsw") {
+                m.cjsw = value;
+            } else if (key == "ldiff") {
+                m.ldiff = value;
+            } else {
+                throw ParseError("unknown model parameter '" + key + "'",
+                                 line);
+            }
+        }
+        result_.models()[name] = m;
+    }
+
+    // ---- elements ---------------------------------------------------------
+
+    // Resolve a node token against an enclosing-instance port map.
+    spice::NodeId nodeOf(std::string_view token, const std::string& prefix,
+                         const std::map<std::string, std::string>& portMap) {
+        std::string name = str::toLower(token);
+        const auto it = portMap.find(name);
+        if (it != portMap.end()) {
+            name = it->second;
+        } else if (name != "0" && name != "gnd" && !prefix.empty()) {
+            name = prefix + name;  // subckt-local node
+        }
+        return result_.circuit().node(name);
+    }
+
+    void element(const std::string& text, int line, const std::string& prefix,
+                 const std::map<std::string, std::string>& portMap) {
+        const auto tokens = str::split(text);
+        const char kind =
+            static_cast<char>(std::tolower(static_cast<unsigned char>(
+                tokens[0][0])));
+        const std::string name = prefix + str::toLower(tokens[0]);
+        auto node = [&](std::size_t i) {
+            if (i >= tokens.size()) {
+                throw ParseError("missing node operand", line);
+            }
+            return nodeOf(tokens[i], prefix, portMap);
+        };
+        switch (kind) {
+            case 'r': {
+                if (tokens.size() != 4) {
+                    throw ParseError("R card: Rname n1 n2 value", line);
+                }
+                result_.circuit().addResistor(name, node(1), node(2),
+                                             number(tokens[3], line));
+                break;
+            }
+            case 'c': {
+                if (tokens.size() != 4) {
+                    throw ParseError("C card: Cname n1 n2 value", line);
+                }
+                result_.circuit().addCapacitor(name, node(1), node(2),
+                                              number(tokens[3], line));
+                break;
+            }
+            case 'v':
+            case 'i': {
+                if (tokens.size() < 4) {
+                    throw ParseError("source card: name n+ n- value", line);
+                }
+                // Everything after the two nodes is the source description.
+                std::string rest;
+                for (std::size_t k = 3; k < tokens.size(); ++k) {
+                    rest += std::string(tokens[k]);
+                    rest += ' ';
+                }
+                const auto spec = sourceSpec(rest, line);
+                if (kind == 'v') {
+                    result_.circuit().addVSource(name, node(1), node(2), spec);
+                } else {
+                    result_.circuit().addISource(name, node(1), node(2), spec);
+                }
+                break;
+            }
+            case 'e': {
+                if (tokens.size() != 6) {
+                    throw ParseError("E card: Ename p n cp cn gain", line);
+                }
+                result_.circuit().addVcvs(name, node(1), node(2), node(3),
+                                         node(4), number(tokens[5], line));
+                break;
+            }
+            case 'g': {
+                if (tokens.size() != 6) {
+                    throw ParseError("G card: Gname p n cp cn gm", line);
+                }
+                result_.circuit().addVccs(name, node(1), node(2), node(3),
+                                         node(4), number(tokens[5], line));
+                break;
+            }
+            case 'm': {
+                if (tokens.size() != 8) {
+                    throw ParseError(
+                        "M card: Mname d g s b model w=<val> l=<val>", line);
+                }
+                const std::string modelName = str::toLower(tokens[5]);
+                const auto it = result_.models().find(modelName);
+                if (it == result_.models().end()) {
+                    throw ParseError("unknown model '" + modelName + "'",
+                                     line);
+                }
+                const auto kv = keyValues(tokens, 6, line);
+                if (kv.count("w") == 0 || kv.count("l") == 0) {
+                    throw ParseError("M card needs w= and l=", line);
+                }
+                result_.circuit().addMosfet(name, node(1), node(2), node(3),
+                                           node(4), it->second, kv.at("w"),
+                                           kv.at("l"));
+                break;
+            }
+            case 'x': {
+                if (tokens.size() < 3) {
+                    throw ParseError("X card: Xname nodes... subname", line);
+                }
+                expandSubckt(tokens, line, prefix, portMap, name);
+                break;
+            }
+            default:
+                throw ParseError("unsupported element '" +
+                                     std::string(tokens[0]) + "'",
+                                 line);
+        }
+    }
+
+    void expandSubckt(const std::vector<std::string_view>& tokens, int line,
+                      const std::string& prefix,
+                      const std::map<std::string, std::string>& portMap,
+                      const std::string& instName) {
+        const std::string subName = str::toLower(tokens.back());
+        const auto it = result_.subckts().find(subName);
+        if (it == result_.subckts().end()) {
+            throw ParseError("unknown subckt '" + subName + "'", line);
+        }
+        const Subckt& sub = it->second;
+        if (tokens.size() - 2 != sub.ports.size()) {
+            throw ParseError("subckt '" + subName + "' expects " +
+                                 std::to_string(sub.ports.size()) +
+                                 " connections",
+                             line);
+        }
+        if (++depth_ > 32) {
+            throw ParseError("subckt nesting too deep (recursive netlist?)",
+                             line);
+        }
+        // Map formal port -> actual node name in the enclosing scope.
+        std::map<std::string, std::string> map;
+        for (std::size_t k = 0; k < sub.ports.size(); ++k) {
+            const std::string actual = str::toLower(tokens[1 + k]);
+            const auto outer = portMap.find(actual);
+            std::string resolved;
+            if (outer != portMap.end()) {
+                resolved = outer->second;
+            } else if (actual == "0" || actual == "gnd") {
+                resolved = "0";
+            } else {
+                resolved = prefix + actual;
+            }
+            map[sub.ports[k]] = resolved;
+        }
+        const std::string inner = instName + ".";
+        for (const auto& card : sub.body) {
+            element(card, line, inner, map);
+        }
+        --depth_;
+    }
+
+    SpiceNetlist result_;
+    int depth_ = 0;
+};
+
+}  // namespace
+
+SpiceNetlist parseSpice(const std::string& text) {
+    return SpiceParser().run(text);
+}
+
+}  // namespace sna::parser

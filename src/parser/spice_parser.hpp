@@ -1,0 +1,60 @@
+// SPICE-subset netlist parser.
+//
+// Supported cards (case-insensitive, '+' continuations, '*'/'$' comments):
+//   R<name> n1 n2 value            resistor
+//   C<name> n1 n2 value            capacitor
+//   V<name> n+ n- dc <v> | pwl(t1 v1 t2 v2 ...)   voltage source
+//   I<name> n+ n- dc <v> | pwl(...)               current source
+//   E<name> p n cp cn gain         VCVS
+//   G<name> p n cp cn gm           linear VCCS
+//   M<name> d g s b model w=<m> l=<m>             level-1 MOSFET
+//   X<name> pin... subname         subcircuit instance
+//   .model <name> nmos|pmos (level=1 key=value ...)
+//   .subckt <name> pins... / .ends
+//   .end
+// Numbers accept engineering suffixes (k, meg, u, n, p, f, ...).
+//
+// This is the library-exchange input path: the celllib emits exactly this
+// dialect (round-trip tested) and examples load cells/netlists through it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace sna::parser {
+
+/// A parsed .subckt template.
+struct Subckt {
+    std::string name;
+    std::vector<std::string> ports;
+    std::vector<std::string> body;  ///< raw element cards
+};
+
+/// Parse result: a fully lowered circuit plus the model/subckt tables.
+class SpiceNetlist {
+public:
+    spice::Circuit& circuit() { return circuit_; }
+    const spice::Circuit& circuit() const { return circuit_; }
+
+    const std::map<std::string, spice::MosModel>& models() const {
+        return models_;
+    }
+    const std::map<std::string, Subckt>& subckts() const { return subckts_; }
+
+    /// Mutable access for the parser building this result.
+    std::map<std::string, spice::MosModel>& models() { return models_; }
+    std::map<std::string, Subckt>& subckts() { return subckts_; }
+
+private:
+    spice::Circuit circuit_;
+    std::map<std::string, spice::MosModel> models_;
+    std::map<std::string, Subckt> subckts_;
+};
+
+/// Parse a netlist text. Throws sna::ParseError with 1-based line numbers.
+SpiceNetlist parseSpice(const std::string& text);
+
+}  // namespace sna::parser

@@ -1,0 +1,103 @@
+#include "spice/dc.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace sna::spice {
+
+DcSolution::DcSolution(const Circuit& circuit, MnaMap map, la::Vector x)
+    : circuit_(&circuit), map_(std::move(map)), x_(std::move(x)) {}
+
+double DcSolution::voltage(NodeId node) const {
+    return map_.voltage(node, x_);
+}
+
+double DcSolution::voltage(const std::string& node) const {
+    const auto id = circuit_->findNode(node);
+    SNA_REQUIRE(id.has_value(), "unknown node '" + node + "'");
+    return voltage(*id);
+}
+
+double DcSolution::sourceCurrent(const std::string& vsourceName) const {
+    const Device* dev = circuit_->findDevice(vsourceName);
+    SNA_REQUIRE(dev != nullptr, "unknown device '" + vsourceName + "'");
+    const auto* vs = dynamic_cast<const VSource*>(dev);
+    SNA_REQUIRE(vs != nullptr, "'" + vsourceName + "' is not a voltage source");
+    SNA_REQUIRE(vs->grounded(),
+                "sourceCurrent needs a ground-referenced source: " +
+                    vsourceName);
+    const NodeId pinned = (vs->neg() == kGround) ? vs->pos() : vs->neg();
+
+    EvalContext ctx(map_, x_, nullptr, 0.0, 0.0, Integration::BackwardEuler,
+                    /*transient=*/false, /*srcScale=*/1.0, nullptr, nullptr);
+    double intoNode = 0.0;
+    for (const std::size_t idx : circuit_->devicesAt(pinned)) {
+        const Device* d = circuit_->devices()[idx].get();
+        if (d == dev) continue;
+        intoNode += d->currentInto(pinned, ctx);
+    }
+    // KCL: source current into the node balances the rest of the circuit.
+    double delivered = -intoNode;
+    // Report with the source's own polarity (current out of its + pin).
+    if (vs->pos() == kGround) delivered = -delivered;
+    return delivered;
+}
+
+void robustDcSolve(MnaMap& map, la::Vector& x, const DcOptions& options) {
+    auto tryNewton = [&](double gmin, double srcScale) {
+        map.setGmin(gmin);
+        return solveNewton(map, x, /*time=*/0.0, /*dt=*/0.0,
+                           Integration::BackwardEuler, /*transient=*/false,
+                           srcScale, nullptr, nullptr, options.newton)
+            .converged;
+    };
+
+    const double gminFinal = 1e-12;
+    if (tryNewton(gminFinal, 1.0)) return;
+
+    if (options.gminStepping) {
+        log::debug() << "DC: plain Newton failed, trying gmin stepping";
+        std::fill(x.begin(), x.end(), 0.0);
+        bool ok = true;
+        for (double gmin = 1e-3; gmin >= gminFinal / 2; gmin *= 0.1) {
+            if (!tryNewton(std::max(gmin, gminFinal), 1.0)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) return;
+    }
+
+    if (options.sourceStepping) {
+        log::debug() << "DC: gmin stepping failed, trying source stepping";
+        std::fill(x.begin(), x.end(), 0.0);
+        bool ok = true;
+        for (int step = 1; step <= 20; ++step) {
+            const double scale = static_cast<double>(step) / 20.0;
+            if (!tryNewton(gminFinal, scale)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) return;
+    }
+
+    throw ConvergenceError("DC operating point did not converge");
+}
+
+DcSolution solveDc(const Circuit& circuit, const DcOptions& options,
+                   const la::Vector* warmStart) {
+    MnaMap map(circuit);
+    la::Vector x(map.unknowns(), 0.0);
+    if (warmStart != nullptr) {
+        SNA_REQUIRE(warmStart->size() == x.size(),
+                    "warm start has wrong dimension");
+        x = *warmStart;
+    }
+    robustDcSolve(map, x, options);
+    return DcSolution(circuit, std::move(map), std::move(x));
+}
+
+}  // namespace sna::spice

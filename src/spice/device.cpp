@@ -1,0 +1,261 @@
+#include "spice/device.hpp"
+
+#include <cmath>
+
+#include "spice/mna.hpp"
+#include "util/error.hpp"
+
+namespace sna::spice {
+
+// ---------------------------------------------------------------- sources
+
+SourceSpec SourceSpec::dc(double value) {
+    SourceSpec s;
+    s.dc_ = value;
+    return s;
+}
+
+SourceSpec SourceSpec::pwl(wave::Waveform w) {
+    SNA_REQUIRE(!w.empty(), "PWL source needs a non-empty waveform");
+    SourceSpec s;
+    s.wave_ = std::move(w);
+    return s;
+}
+
+double SourceSpec::value(double time) const {
+    return wave_.empty() ? dc_ : wave_.value(time);
+}
+
+std::vector<double> SourceSpec::breakpoints() const {
+    std::vector<double> out;
+    for (const auto& s : wave_.samples()) out.push_back(s.t);
+    return out;
+}
+
+// --------------------------------------------------------------- resistor
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms)
+    : Device(std::move(name), {a, b}), ohms_(ohms) {
+    SNA_REQUIRE(ohms > 0.0, "resistance must be positive: " + this->name());
+}
+
+void Resistor::stamp(Stamper& s, const EvalContext&) const {
+    s.conductance(nodes()[0], nodes()[1], 1.0 / ohms_);
+}
+
+double Resistor::currentInto(NodeId n, const EvalContext& ctx) const {
+    const double va = ctx.v(nodes()[0]);
+    const double vb = ctx.v(nodes()[1]);
+    const double iAToB = (va - vb) / ohms_;
+    if (n == nodes()[0]) return -iAToB;
+    if (n == nodes()[1]) return +iAToB;
+    return 0.0;
+}
+
+// -------------------------------------------------------------- capacitor
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double farads)
+    : Device(std::move(name), {a, b}), farads_(farads) {
+    SNA_REQUIRE(farads > 0.0, "capacitance must be positive: " + this->name());
+}
+
+std::pair<double, double> Capacitor::companion(const EvalContext& ctx) const {
+    // Returns {geq, ieq}: i(a->b) = geq * vab_now - ieq.
+    const double vabPrev = ctx.vPrev(nodes()[0]) - ctx.vPrev(nodes()[1]);
+    if (ctx.method() == Integration::BackwardEuler) {
+        const double geq = farads_ / ctx.dt();
+        return {geq, geq * vabPrev};
+    }
+    const double geq = 2.0 * farads_ / ctx.dt();
+    const double iPrev = ctx.state(*this, 0);
+    return {geq, geq * vabPrev + iPrev};
+}
+
+void Capacitor::stamp(Stamper& s, const EvalContext& ctx) const {
+    if (!ctx.transient()) return;  // open in DC
+    const auto [geq, ieq] = companion(ctx);
+    s.conductance(nodes()[0], nodes()[1], geq);
+    s.current(nodes()[0], ieq);
+    s.current(nodes()[1], -ieq);
+}
+
+void Capacitor::updateState(const EvalContext& ctx) const {
+    if (!ctx.transient()) {
+        ctx.setState(*this, 0, 0.0);  // DC steady state: no current
+        return;
+    }
+    const auto [geq, ieq] = companion(ctx);
+    const double vab = ctx.v(nodes()[0]) - ctx.v(nodes()[1]);
+    ctx.setState(*this, 0, geq * vab - ieq);
+}
+
+double Capacitor::currentInto(NodeId n, const EvalContext& ctx) const {
+    if (!ctx.transient()) return 0.0;
+    const auto [geq, ieq] = companion(ctx);
+    const double vab = ctx.v(nodes()[0]) - ctx.v(nodes()[1]);
+    const double iAToB = geq * vab - ieq;
+    if (n == nodes()[0]) return -iAToB;
+    if (n == nodes()[1]) return +iAToB;
+    return 0.0;
+}
+
+// ---------------------------------------------------------------- vsource
+
+VSource::VSource(std::string name, NodeId pos, NodeId neg, SourceSpec spec)
+    : Device(std::move(name), {pos, neg}), spec_(std::move(spec)) {
+    SNA_REQUIRE(pos != neg, "voltage source with shorted terminals: " +
+                                this->name());
+}
+
+void VSource::stamp(Stamper& s, const EvalContext& ctx) const {
+    if (grounded()) return;  // eliminated as a fixed node by the assembler
+    const int row = ctx.branchRow(*this);
+    s.branchVoltage(row, pos(), neg(), spec_.value(ctx.time()) * ctx.srcScale());
+    s.branchCurrentInto(row, pos(), neg());
+}
+
+double VSource::currentInto(NodeId, const EvalContext&) const {
+    return 0.0;  // determined by the surrounding circuit
+}
+
+// ---------------------------------------------------------------- isource
+
+ISource::ISource(std::string name, NodeId pos, NodeId neg, SourceSpec spec)
+    : Device(std::move(name), {pos, neg}), spec_(std::move(spec)) {}
+
+void ISource::stamp(Stamper& s, const EvalContext& ctx) const {
+    const double i = spec_.value(ctx.time()) * ctx.srcScale();
+    s.current(nodes()[0], -i);
+    s.current(nodes()[1], +i);
+}
+
+double ISource::currentInto(NodeId n, const EvalContext& ctx) const {
+    const double i = spec_.value(ctx.time()) * ctx.srcScale();
+    if (n == nodes()[0]) return -i;
+    if (n == nodes()[1]) return +i;
+    return 0.0;
+}
+
+// ------------------------------------------------------------------- vccs
+
+Vccs::Vccs(std::string name, NodeId pos, NodeId neg, NodeId cpos, NodeId cneg,
+           double gm)
+    : Device(std::move(name), {pos, neg, cpos, cneg}), gm_(gm) {}
+
+void Vccs::stamp(Stamper& s, const EvalContext& ctx) const {
+    const NodeId cp = nodes()[2];
+    const NodeId cn = nodes()[3];
+    const double i0 = gm_ * (ctx.v(cp) - ctx.v(cn));
+    s.norton(nodes()[0], nodes()[1], i0, {{cp, gm_}, {cn, -gm_}}, ctx);
+}
+
+double Vccs::currentInto(NodeId n, const EvalContext& ctx) const {
+    const double i = gm_ * (ctx.v(nodes()[2]) - ctx.v(nodes()[3]));
+    if (n == nodes()[0]) return -i;
+    if (n == nodes()[1]) return +i;
+    return 0.0;
+}
+
+// ------------------------------------------------------------------- vcvs
+
+Vcvs::Vcvs(std::string name, NodeId pos, NodeId neg, NodeId cpos, NodeId cneg,
+           double gain)
+    : Device(std::move(name), {pos, neg, cpos, cneg}), gain_(gain) {}
+
+void Vcvs::stamp(Stamper& s, const EvalContext& ctx) const {
+    const int row = ctx.branchRow(*this);
+    s.branchVoltage(row, nodes()[0], nodes()[1], 0.0);
+    s.branchControl(row, nodes()[2], -gain_);
+    s.branchControl(row, nodes()[3], +gain_);
+    s.branchCurrentInto(row, nodes()[0], nodes()[1]);
+}
+
+double Vcvs::currentInto(NodeId, const EvalContext&) const {
+    return 0.0;  // determined by the surrounding circuit
+}
+
+// -------------------------------------------------------------- tablevccs
+
+TableVccs::TableVccs(std::string name, NodeId out, NodeId in, la::Grid2d table)
+    : Device(std::move(name), {out, in}), table_(std::move(table)) {
+    SNA_REQUIRE(!table_.empty(), "table VCCS needs a characterized table: " +
+                                     this->name());
+}
+
+void TableVccs::stamp(Stamper& s, const EvalContext& ctx) const {
+    const NodeId out = nodes()[0];
+    const NodeId in = nodes()[1];
+    const la::Grid2d::Value v = table_.eval(ctx.v(in), ctx.v(out));
+    s.norton(out, kGround, v.z, {{in, v.dzdx}, {out, v.dzdy}}, ctx);
+}
+
+double TableVccs::currentInto(NodeId n, const EvalContext& ctx) const {
+    const double i = table_(ctx.v(nodes()[1]), ctx.v(nodes()[0]));
+    if (n == nodes()[0]) return -i;  // sunk from the output node
+    return 0.0;
+}
+
+// ----------------------------------------------------------------- mosfet
+
+Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+               MosModel model, double w, double l)
+    : Device(std::move(name), {d, g, s, b}),
+      model_(model),
+      w_(w),
+      l_(l),
+      beta_(model.kp * w / l) {
+    SNA_REQUIRE(w > 0.0 && l > 0.0, "MOSFET geometry must be positive: " +
+                                        this->name());
+}
+
+Mosfet::Linearization Mosfet::linearize(double vd, double vg, double vs,
+                                        double vb) const {
+    const double sign = (model_.type == MosType::Nmos) ? 1.0 : -1.0;
+    const double vdp = sign * vd;
+    const double vgp = sign * vg;
+    const double vsp = sign * vs;
+    const double vbp = sign * vb;
+
+    Linearization lin{};
+    if (vdp >= vsp) {
+        // Normal mode (reflected space): effective drain = physical drain.
+        const MosEval e =
+            evalLevel1(model_, beta_, vgp - vsp, vdp - vsp, vbp - vsp);
+        lin.id = sign * e.ids;
+        lin.dVg = e.gm;
+        lin.dVd = e.gds;
+        lin.dVb = e.gmbs;
+        lin.dVs = -(e.gm + e.gds + e.gmbs);
+    } else {
+        // Swapped mode: effective drain = physical source.
+        const MosEval e =
+            evalLevel1(model_, beta_, vgp - vdp, vsp - vdp, vbp - vdp);
+        lin.id = -sign * e.ids;
+        lin.dVg = -e.gm;
+        lin.dVs = -e.gds;
+        lin.dVb = -e.gmbs;
+        lin.dVd = e.gm + e.gds + e.gmbs;
+    }
+    return lin;
+}
+
+void Mosfet::stamp(Stamper& s, const EvalContext& ctx) const {
+    const NodeId d = drain();
+    const NodeId g = gate();
+    const NodeId src = source();
+    const NodeId b = bulk();
+    const Linearization lin =
+        linearize(ctx.v(d), ctx.v(g), ctx.v(src), ctx.v(b));
+    s.norton(d, src, lin.id,
+             {{d, lin.dVd}, {g, lin.dVg}, {src, lin.dVs}, {b, lin.dVb}}, ctx);
+}
+
+double Mosfet::currentInto(NodeId n, const EvalContext& ctx) const {
+    const Linearization lin =
+        linearize(ctx.v(drain()), ctx.v(gate()), ctx.v(source()), ctx.v(bulk()));
+    if (n == drain()) return -lin.id;
+    if (n == source()) return +lin.id;
+    return 0.0;
+}
+
+}  // namespace sna::spice

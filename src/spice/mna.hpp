@@ -1,0 +1,99 @@
+// MNA assembly with fixed-node elimination.
+//
+// MnaMap classifies every circuit node as ground, source-fixed (driven by a
+// ground-referenced ideal voltage source — the overwhelmingly common case in
+// noise clusters: supplies, inputs, Thevenin sources), or unknown. Fixed
+// nodes are eliminated from the system: their time-dependent values are
+// refreshed per evaluation and stamps touching them fold into the RHS. The
+// remaining unknowns get a gmin to ground so the Jacobian stays regular in
+// cutoff. Floating voltage sources / VCVS add branch-current unknowns, which
+// forces the dense solver (their rows have zero diagonals).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "la/sparse.hpp"
+#include "spice/circuit.hpp"
+#include "spice/stamp.hpp"
+
+namespace sna::spice {
+
+class MnaMap {
+public:
+    explicit MnaMap(const Circuit& circuit);
+
+    const Circuit& circuit() const { return *circuit_; }
+
+    /// Unknown count (node unknowns + branch currents).
+    std::size_t unknowns() const { return unknowns_; }
+    std::size_t nodeUnknowns() const { return nodeUnknowns_; }
+    bool hasBranches() const { return unknowns_ > nodeUnknowns_; }
+
+    /// Index of a node in the solution vector, or -1 (ground/fixed).
+    int indexOf(NodeId n) const { return index_[n]; }
+    bool isFixed(NodeId n) const { return fixed_[n]; }
+
+    /// Voltage of node n given solution x and current fixed values.
+    double voltage(NodeId n, const la::Vector& x) const;
+    /// Voltage of node n at the previous accepted time point.
+    double voltagePrev(NodeId n, const la::Vector& xPrev) const;
+    /// Known voltage of a ground/fixed node at the current evaluation.
+    double knownVoltage(NodeId n) const;
+
+    /// Refresh fixed-node values for time t and source scale; called by the
+    /// analyses before every evaluation at t.
+    void updateFixed(double time, double srcScale);
+    /// Snapshot current fixed values as "previous" (on step acceptance).
+    void commitFixed();
+
+    /// Total per-device transient state slots and per-device offsets.
+    std::size_t stateSlots() const { return stateSlots_; }
+    std::size_t stateBaseOf(const Device& d) const;
+    int branchBaseOf(const Device& d) const;
+
+    double gmin() const { return gmin_; }
+    void setGmin(double g) { gmin_ = g; }
+
+    /// Stamp every device at the given context; adds gmin diagonals.
+    void assemble(la::SparseMatrix& j, la::Vector& rhs,
+                  const EvalContext& ctx) const;
+
+private:
+    const Circuit* circuit_;
+    std::vector<int> index_;        // NodeId -> unknown index or -1
+    std::vector<char> fixed_;       // NodeId -> source-fixed?
+    std::vector<double> fixedValue_;
+    std::vector<double> fixedPrev_;
+    std::vector<const VSource*> fixedSource_;  // NodeId -> driving source
+    std::vector<double> fixedSign_;            // +1 pos grounded-neg, -1 swapped
+    std::unordered_map<const Device*, std::size_t> stateBase_;
+    std::unordered_map<const Device*, int> branchBase_;
+    std::size_t nodeUnknowns_ = 0;
+    std::size_t unknowns_ = 0;
+    std::size_t stateSlots_ = 0;
+    double gmin_ = 1e-12;
+};
+
+/// Newton options shared by DC and transient.
+struct NewtonOptions {
+    int maxIterations = 200;
+    double vtol = 1e-6;      ///< convergence: max voltage update, V
+    double maxStep = 0.5;    ///< damping: max update component per iteration, V
+};
+
+struct NewtonStats {
+    bool converged = false;
+    int iterations = 0;
+};
+
+/// Damped Newton on the MNA system at one (time, dt, method) configuration;
+/// refreshes the map's fixed-node values for `time`/`srcScale` first. x is
+/// the initial guess in and the solution out.
+NewtonStats solveNewton(MnaMap& map, la::Vector& x, double time, double dt,
+                        Integration method, bool transient, double srcScale,
+                        const la::Vector* xPrev,
+                        const std::vector<double>* statePrev,
+                        const NewtonOptions& opt);
+
+}  // namespace sna::spice

@@ -1,0 +1,63 @@
+#include "spice/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sna::spice {
+
+MosEval evalLevel1(const MosModel& m, double beta, double vgs, double vds,
+                   double vbs) {
+    SNA_REQUIRE(vds >= 0.0, "evalLevel1 requires vds >= 0 (caller swaps)");
+    MosEval e;
+
+    // Body effect with a clamp that keeps sqrt real and the derivative
+    // bounded when the junction approaches forward bias.
+    const double phiEff = std::max(m.phi, 1e-3);
+    const double arg = std::max(phiEff - vbs, 1e-3);
+    const double sarg = std::sqrt(arg);
+    const double vt = m.vt0 + m.gamma * (sarg - std::sqrt(phiEff));
+    const double dvtDvbs = -m.gamma / (2.0 * sarg);
+
+    const double vgst = vgs - vt;
+    if (vgst <= 0.0) {
+        return e;  // cutoff: all zero (gmin at the MNA level keeps J regular)
+    }
+
+    const double clm = 1.0 + m.lambda * vds;
+    if (vds < vgst) {
+        // Triode.
+        const double f = beta * (vgst - 0.5 * vds) * vds;
+        e.ids = f * clm;
+        e.gm = beta * vds * clm;
+        e.gds = beta * (vgst - vds) * clm + f * m.lambda;
+        e.gmbs = e.gm * (-dvtDvbs);
+    } else {
+        // Saturation.
+        const double f = 0.5 * beta * vgst * vgst;
+        e.ids = f * clm;
+        e.gm = beta * vgst * clm;
+        e.gds = f * m.lambda;
+        e.gmbs = e.gm * (-dvtDvbs);
+    }
+    return e;
+}
+
+MosCaps instanceCaps(const MosModel& m, double w, double l) {
+    SNA_REQUIRE(w > 0.0 && l > 0.0, "MOSFET geometry must be positive");
+    MosCaps c;
+    const double channel = m.cox * w * l;
+    // Constant worst-case split: half the channel charge to each of
+    // source/drain plus the overlaps; a small residue to bulk.
+    c.cgs = m.cgso * w + 0.5 * channel;
+    c.cgd = m.cgdo * w + 0.5 * channel;
+    c.cgb = 0.1 * channel;
+    const double areaJ = w * m.ldiff;
+    const double perimJ = 2.0 * (w + m.ldiff);
+    c.cdb = m.cj * areaJ + m.cjsw * perimJ;
+    c.csb = m.cj * areaJ + m.cjsw * perimJ;
+    return c;
+}
+
+}  // namespace sna::spice

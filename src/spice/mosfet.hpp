@@ -1,0 +1,57 @@
+// Level-1 (Shichman–Hodges) MOSFET model.
+//
+// This is the non-linearity at the heart of the paper: library cells are
+// built from these transistors, and the victim driver's restoring current
+// I_DC(V_in, V_out) inherits their square-law/triode behavior. Level 1 with
+// channel-length modulation and body effect is deliberate — the paper's
+// argument only needs a strongly non-linear, physically shaped I-V, not a
+// nanometer-accurate one (the proprietary ST device models are substituted
+// per DESIGN.md).
+#pragma once
+
+namespace sna::spice {
+
+enum class MosType { Nmos, Pmos };
+
+/// Model card (shared by all instances of one device flavor).
+struct MosModel {
+    MosType type = MosType::Nmos;
+    double vt0 = 0.4;      ///< zero-bias threshold magnitude, V
+    double kp = 200e-6;    ///< transconductance parameter u0*Cox, A/V^2
+    double lambda = 0.05;  ///< channel-length modulation, 1/V
+    double gamma = 0.3;    ///< body-effect coefficient, sqrt(V)
+    double phi = 0.7;      ///< surface potential, V
+    double cox = 8e-3;     ///< gate oxide capacitance, F/m^2
+    double cgso = 3e-10;   ///< gate-source overlap, F/m of width
+    double cgdo = 3e-10;   ///< gate-drain overlap, F/m of width
+    double cj = 1.0e-3;    ///< junction area capacitance, F/m^2
+    double cjsw = 1.0e-10; ///< junction sidewall capacitance, F/m
+    double ldiff = 0.3e-6; ///< source/drain diffusion extent, m
+};
+
+/// Point evaluation of the drain current and its partials, NMOS convention
+/// with vds >= 0 (callers handle PMOS reflection and drain/source swap).
+struct MosEval {
+    double ids = 0.0;   ///< drain current, A (into drain, out of source)
+    double gm = 0.0;    ///< d ids / d vgs
+    double gds = 0.0;   ///< d ids / d vds
+    double gmbs = 0.0;  ///< d ids / d vbs
+};
+
+/// Shichman–Hodges equations; `beta` = kp * W / L is passed pre-scaled so
+/// the caller owns geometry. Requires vds >= 0.
+MosEval evalLevel1(const MosModel& m, double beta, double vgs, double vds,
+                   double vbs);
+
+/// Lumped terminal capacitances used for the instance parasitics (constant,
+/// worst-case-triode split of the channel charge; see DESIGN.md).
+struct MosCaps {
+    double cgs = 0.0;
+    double cgd = 0.0;
+    double cgb = 0.0;
+    double cdb = 0.0;
+    double csb = 0.0;
+};
+MosCaps instanceCaps(const MosModel& m, double w, double l);
+
+}  // namespace sna::spice

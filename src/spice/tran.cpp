@@ -1,0 +1,219 @@
+#include "spice/tran.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace sna::spice {
+
+bool TranResult::has(const std::string& node) const {
+    return waves_.find(node) != waves_.end();
+}
+
+const wave::Waveform& TranResult::waveform(const std::string& node) const {
+    const auto it = waves_.find(node);
+    SNA_REQUIRE(it != waves_.end(), "no waveform recorded for node '" + node +
+                                        "'");
+    return it->second;
+}
+
+namespace {
+
+// Breakpoints: every PWL corner of every independent source in (0, tstop).
+std::vector<double> collectBreakpoints(const Circuit& circuit, double tstop) {
+    std::vector<double> bps;
+    for (const auto& dev : circuit.devices()) {
+        std::vector<double> devBps;
+        if (const auto* vs = dynamic_cast<const VSource*>(dev.get())) {
+            devBps = vs->spec().breakpoints();
+        } else if (const auto* is = dynamic_cast<const ISource*>(dev.get())) {
+            devBps = is->spec().breakpoints();
+        }
+        for (double t : devBps) {
+            if (t > 1e-21 && t < tstop) bps.push_back(t);
+        }
+    }
+    bps.push_back(tstop);
+    std::sort(bps.begin(), bps.end());
+    // Merge breakpoints closer than a femtosecond.
+    std::vector<double> merged;
+    for (double t : bps) {
+        if (merged.empty() || t - merged.back() > 1e-15) merged.push_back(t);
+    }
+    return merged;
+}
+
+}  // namespace
+
+TranResult simulateTransient(const Circuit& circuit,
+                             const TranOptions& options) {
+    SNA_REQUIRE(options.tstop > 0.0, "transient needs a positive tstop");
+    const double tstop = options.tstop;
+    const double dtInit =
+        (options.dtInit > 0.0) ? options.dtInit : tstop / 5000.0;
+    const double dtMax = (options.dtMax > 0.0) ? options.dtMax : tstop / 50.0;
+    const double dtMin = options.dtMin;
+
+    MnaMap map(circuit);
+    TranResult result;
+
+    // --- initial condition -------------------------------------------------
+    map.updateFixed(0.0, 1.0);
+    la::Vector x(map.unknowns(), 0.0);
+    robustDcSolve(map, x, options.dc);
+    map.setGmin(1e-12);
+    map.updateFixed(0.0, 1.0);
+    map.commitFixed();
+
+    std::vector<double> statePrev(map.stateSlots(), 0.0);
+    std::vector<double> stateNext(map.stateSlots(), 0.0);
+    {
+        EvalContext ctx(map, x, nullptr, 0.0, 0.0, Integration::BackwardEuler,
+                        /*transient=*/false, 1.0, &statePrev, &stateNext);
+        for (const auto& dev : circuit.devices()) {
+            if (dev->stateCount() > 0) dev->updateState(ctx);
+        }
+        statePrev = stateNext;
+    }
+
+    // --- recording ---------------------------------------------------------
+    const std::size_t nodeCount = circuit.nodeCount();
+    std::vector<std::vector<wave::Sample>> record(nodeCount);
+    auto recordAll = [&](double t) {
+        for (NodeId id = 1; id < static_cast<NodeId>(nodeCount); ++id) {
+            record[id].push_back({t, map.voltage(id, x)});
+        }
+    };
+    recordAll(0.0);
+
+    // --- main loop ----------------------------------------------------------
+    const std::vector<double> breakpoints = collectBreakpoints(circuit, tstop);
+    std::size_t nextBp = 0;
+
+    double t = 0.0;
+    double dt = dtInit;
+    double dtPrevAccepted = 0.0;
+    la::Vector xOlder;           // solution one accepted point earlier
+    bool haveHistory = false;    // xOlder valid (for the predictor)
+    bool forceBe = true;         // BE on the first step and after breakpoints
+
+    TranStats stats;
+    while (t < tstop - 1e-18) {
+        if (stats.accepted + stats.rejected > options.maxSteps) {
+            throw ConvergenceError("transient exceeded the step budget");
+        }
+        // Land exactly on the next breakpoint.
+        while (nextBp < breakpoints.size() && breakpoints[nextBp] <= t + 1e-18) {
+            ++nextBp;
+        }
+        bool hitsBp = false;
+        if (nextBp < breakpoints.size() && t + dt >= breakpoints[nextBp] - 1e-15) {
+            dt = breakpoints[nextBp] - t;
+            hitsBp = true;
+        }
+        const Integration method =
+            forceBe ? Integration::BackwardEuler : Integration::Trapezoidal;
+
+        // Predictor as the Newton initial guess (and the LTE reference).
+        la::Vector xGuess = x;
+        la::Vector xPred = x;
+        const bool canPredict = haveHistory && dtPrevAccepted > 0.0;
+        if (canPredict) {
+            const double a = dt / dtPrevAccepted;
+            for (std::size_t i = 0; i < x.size(); ++i) {
+                xPred[i] = x[i] + a * (x[i] - xOlder[i]);
+            }
+            xGuess = xPred;
+        }
+
+        la::Vector xNew = xGuess;
+        bool converged = false;
+        try {
+            const NewtonStats ns =
+                solveNewton(map, xNew, t + dt, dt, method, /*transient=*/true,
+                            1.0, &x, &statePrev, options.newton);
+            stats.newtonIterations += ns.iterations;
+            converged = ns.converged;
+        } catch (const ConvergenceError&) {
+            converged = false;
+        }
+
+        if (!converged) {
+            ++stats.rejected;
+            dt *= 0.25;
+            if (dt < dtMin) {
+                throw ConvergenceError("transient Newton failed at t = " +
+                                       std::to_string(t));
+            }
+            continue;
+        }
+
+        // LTE control: compare the corrector against the linear predictor.
+        if (canPredict && method == Integration::Trapezoidal) {
+            double eps = 0.0;
+            for (std::size_t i = 0; i < xNew.size(); ++i) {
+                const double scale =
+                    options.reltol *
+                        std::max(std::abs(xNew[i]), std::abs(x[i])) +
+                    options.abstol;
+                eps = std::max(eps, std::abs(xNew[i] - xPred[i]) / scale);
+            }
+            if (eps > 1.0 && dt > dtMin * 4.0 && !hitsBp) {
+                ++stats.rejected;
+                dt *= std::max(0.2, 0.9 * std::pow(eps, -1.0 / 3.0));
+                continue;
+            }
+            // Accepted: grow the step for next time.
+            const double grow =
+                (eps > 0.0) ? 0.9 * std::pow(eps, -1.0 / 3.0) : 2.0;
+            dtPrevAccepted = dt;
+            dt = std::clamp(dt * std::clamp(grow, 0.3, 2.0), dtMin, dtMax);
+        } else {
+            dtPrevAccepted = dt;
+            dt = std::clamp(dt * 2.0, dtMin, dtMax);
+        }
+
+        // Commit the step.
+        {
+            EvalContext ctx(map, xNew, &x, t + dtPrevAccepted, dtPrevAccepted,
+                            method, /*transient=*/true, 1.0, &statePrev,
+                            &stateNext);
+            for (const auto& dev : circuit.devices()) {
+                if (dev->stateCount() > 0) dev->updateState(ctx);
+            }
+            statePrev = stateNext;
+        }
+        map.commitFixed();
+        xOlder = x;
+        x = xNew;
+        haveHistory = true;
+        t += dtPrevAccepted;
+        ++stats.accepted;
+        recordAll(t);
+
+        if (hitsBp) {
+            // Slope discontinuity: restart integration gently.
+            forceBe = true;
+            haveHistory = false;
+            dt = std::min(dt, dtInit);
+        } else {
+            forceBe = false;
+        }
+    }
+
+    // --- package ------------------------------------------------------------
+    result.stats_ = stats;
+    for (NodeId id = 1; id < static_cast<NodeId>(nodeCount); ++id) {
+        result.waves_.emplace(circuit.nodeName(id),
+                              wave::Waveform(std::move(record[id])));
+    }
+    log::debug() << "transient: " << stats.accepted << " steps, "
+                 << stats.rejected << " rejected, " << stats.newtonIterations
+                 << " newton iterations";
+    return result;
+}
+
+}  // namespace sna::spice

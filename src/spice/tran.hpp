@@ -1,0 +1,53 @@
+// Adaptive transient analysis.
+//
+// Trapezoidal integration with backward-Euler restarts at waveform
+// breakpoints (source slope discontinuities), local-truncation-error step
+// control via a linear predictor, and the robust DC ladder for the initial
+// condition. This engine plays the role of ELDO™ in the paper's experiments:
+// the golden transistor-level reference every macromodel is judged against.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "spice/dc.hpp"
+#include "waveform/waveform.hpp"
+
+namespace sna::spice {
+
+struct TranOptions {
+    double tstop = 0.0;      ///< required, seconds
+    double dtInit = 0.0;     ///< 0 -> tstop / 5000 (also the post-breakpoint dt)
+    double dtMin = 1e-18;
+    double dtMax = 0.0;      ///< 0 -> tstop / 50
+    double reltol = 2e-3;    ///< LTE relative tolerance
+    double abstol = 2e-5;    ///< LTE absolute floor, volts
+    std::size_t maxSteps = 2'000'000;
+    NewtonOptions newton;
+    DcOptions dc;
+};
+
+struct TranStats {
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    long newtonIterations = 0;
+};
+
+class TranResult {
+public:
+    bool has(const std::string& node) const;
+    const wave::Waveform& waveform(const std::string& node) const;
+    const TranStats& stats() const { return stats_; }
+
+private:
+    friend TranResult simulateTransient(const Circuit&, const TranOptions&);
+    std::unordered_map<std::string, wave::Waveform> waves_;
+    TranStats stats_;
+};
+
+/// Run a transient from a DC initial condition to options.tstop, recording
+/// every node voltage as a piecewise-linear waveform.
+TranResult simulateTransient(const Circuit& circuit,
+                             const TranOptions& options);
+
+}  // namespace sna::spice

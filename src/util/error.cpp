@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace sna::detail {
+
+void throwRequireFailure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+    std::ostringstream os;
+    os << "precondition failed: " << msg << " [" << expr << " at " << file
+       << ":" << line << "]";
+    throw LogicError(os.str());
+}
+
+}  // namespace sna::detail

@@ -1,0 +1,69 @@
+// Error hierarchy for OpenSNA.
+//
+// All recoverable failures in the library are reported as exceptions derived
+// from sna::Error. Numerical engines throw ConvergenceError, text-format
+// front-ends throw ParseError, and model/characterization misuse throws
+// ModelError. Programming errors (violated preconditions) use SNA_REQUIRE,
+// which throws LogicError so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sna {
+
+/// Base class of every exception thrown by OpenSNA.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An iterative numerical method (Newton, bisection, step control) failed to
+/// converge within its iteration or step budget.
+class ConvergenceError : public Error {
+public:
+    explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+/// A text input (SPICE netlist, SPEF file) is malformed.
+class ParseError : public Error {
+public:
+    ParseError(const std::string& what, int line = 0)
+        : Error(line > 0 ? "line " + std::to_string(line) + ": " + what : what),
+          line_(line) {}
+
+    /// 1-based line number of the offending input, or 0 if unknown.
+    int line() const { return line_; }
+
+private:
+    int line_ = 0;
+};
+
+/// A model, table, or characterization object was used outside its domain
+/// (e.g. querying a load-curve table that was never characterized).
+class ModelError : public Error {
+public:
+    explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// A violated precondition: the caller broke the API contract.
+class LogicError : public Error {
+public:
+    explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwRequireFailure(const char* expr, const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+}  // namespace sna
+
+/// Precondition check that survives release builds; throws sna::LogicError.
+#define SNA_REQUIRE(expr, msg)                                               \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::sna::detail::throwRequireFailure(#expr, __FILE__, __LINE__,    \
+                                               (msg));                       \
+        }                                                                    \
+    } while (false)

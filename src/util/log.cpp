@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace sna::log {
+
+namespace {
+Level g_level = Level::Warn;
+
+const char* tag(Level level) {
+    switch (level) {
+        case Level::Debug: return "debug";
+        case Level::Info:  return "info ";
+        case Level::Warn:  return "warn ";
+        case Level::Error: return "error";
+        case Level::Off:   return "off  ";
+    }
+    return "?";
+}
+}  // namespace
+
+void setLevel(Level level) { g_level = level; }
+
+Level level() { return g_level; }
+
+void emit(Level level, const std::string& message) {
+    if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+    std::cerr << "[sna:" << tag(level) << "] " << message << '\n';
+}
+
+}  // namespace sna::log

@@ -1,0 +1,37 @@
+// Deterministic random source for property tests and workload generators.
+//
+// A thin wrapper over std::mt19937_64 with a fixed default seed so that test
+// and bench runs are reproducible across machines.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace sna::util {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    int uniformInt(int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(engine_);
+    }
+
+    /// Bernoulli draw.
+    bool chance(double p) {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace sna::util

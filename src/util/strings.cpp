@@ -1,0 +1,105 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sna::str {
+
+namespace {
+bool isSpace(char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+char lower(char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+    std::size_t b = 0;
+    while (b < s.size() && isSpace(s[b])) ++b;
+    std::size_t e = s.size();
+    while (e > b && isSpace(s[e - 1])) --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s,
+                                    std::string_view delims) {
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && delims.find(s[i]) != std::string_view::npos) ++i;
+        std::size_t b = i;
+        while (i < s.size() && delims.find(s[i]) == std::string_view::npos) ++i;
+        if (i > b) out.push_back(s.substr(b, i - b));
+    }
+    return out;
+}
+
+std::string toLower(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) out.push_back(lower(c));
+    return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (lower(a[i]) != lower(b[i])) return false;
+    }
+    return true;
+}
+
+bool istartsWith(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && iequals(s.substr(0, prefix.size()), prefix);
+}
+
+std::optional<double> parseSpiceNumber(std::string_view s) {
+    s = trim(s);
+    if (s.empty()) return std::nullopt;
+    std::string buf(s);
+    char* end = nullptr;
+    const double base = std::strtod(buf.c_str(), &end);
+    if (end == buf.c_str()) return std::nullopt;
+
+    std::string_view rest = trim(std::string_view(end));
+    if (rest.empty()) return base;
+
+    // Engineering suffix; anything after a recognized suffix is a unit name
+    // and is ignored (SPICE convention: "2.2kohm" == 2200).
+    const std::string low = toLower(rest);
+    double scale = 1.0;
+    std::size_t used = 1;
+    if (low.rfind("meg", 0) == 0) {
+        scale = 1e6;
+        used = 3;
+    } else {
+        switch (low[0]) {
+            case 't': scale = 1e12; break;
+            case 'g': scale = 1e9; break;
+            case 'k': scale = 1e3; break;
+            case 'm': scale = 1e-3; break;
+            case 'u': scale = 1e-6; break;
+            case 'n': scale = 1e-9; break;
+            case 'p': scale = 1e-12; break;
+            case 'f': scale = 1e-15; break;
+            default:
+                // Unknown first letter: treat the tail as a unit name only if
+                // it is purely alphabetic, otherwise the number is malformed.
+                for (char c : low) {
+                    if (std::isalpha(static_cast<unsigned char>(c)) == 0)
+                        return std::nullopt;
+                }
+                return base;
+        }
+    }
+    // Remaining characters must be alphabetic (a unit name).
+    for (std::size_t i = used; i < low.size(); ++i) {
+        if (std::isalpha(static_cast<unsigned char>(low[i])) == 0)
+            return std::nullopt;
+    }
+    return base * scale;
+}
+
+}  // namespace sna::str

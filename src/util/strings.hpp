@@ -1,0 +1,33 @@
+// Small string utilities shared by the SPICE and SPEF front-ends.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sna::str {
+
+/// Remove leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any run of characters from `delims`; empty tokens are dropped.
+std::vector<std::string_view> split(std::string_view s,
+                                    std::string_view delims = " \t");
+
+/// ASCII lowercase copy.
+std::string toLower(std::string_view s);
+
+/// Case-insensitive equality (ASCII).
+bool iequals(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`, ignoring ASCII case.
+bool istartsWith(std::string_view s, std::string_view prefix);
+
+/// Parse a SPICE-style number with an optional engineering suffix:
+/// t, g, meg, k, m, u, n, p, f (case-insensitive; trailing unit letters such
+/// as "k" in "2.2kOhm" are tolerated after the suffix). Returns nullopt on
+/// malformed input.
+std::optional<double> parseSpiceNumber(std::string_view s);
+
+}  // namespace sna::str

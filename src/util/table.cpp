@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sna::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    SNA_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> row) {
+    SNA_REQUIRE(row.size() == header_.size(),
+                "row arity must match header arity");
+    rows_.push_back(std::move(row));
+}
+
+std::string Table::str() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+
+    std::ostringstream os;
+    auto rule = [&] {
+        os << '+';
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            os << std::string(width[c] + 2, '-') << '+';
+        }
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c] << std::string(width[c] - cells[c].size(), ' ')
+               << " |";
+        }
+        os << '\n';
+    };
+
+    rule();
+    line(header_);
+    rule();
+    for (const auto& row : rows_) line(row);
+    rule();
+    return os.str();
+}
+
+std::string Table::num(double v, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string Table::pct(double fraction, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f", digits, fraction * 100.0);
+    return buf;
+}
+
+}  // namespace sna::util

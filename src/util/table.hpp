@@ -1,0 +1,33 @@
+// ASCII table formatter used by the bench harness to print paper-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sna::util {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table
+/// with a header rule, matching the formatting used by all bench binaries.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Append one data row; must have the same arity as the header.
+    void addRow(std::vector<std::string> row);
+
+    /// Render with column alignment and +-------+ rules.
+    std::string str() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /// Format helper: fixed-point with `digits` decimals.
+    static std::string num(double v, int digits = 3);
+    /// Format helper: signed percentage with one decimal, e.g. "-22.0".
+    static std::string pct(double fraction, int digits = 1);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sna::util

@@ -1,0 +1,40 @@
+// Unit conventions and conversion helpers.
+//
+// OpenSNA uses plain SI internally: volts, amperes, ohms, farads, seconds,
+// and meters. EDA-facing interfaces (technology tables, benches, reports)
+// speak the domain's customary units — µm, fF, ps, Ω/µm, fF/µm — and convert
+// at the boundary through the constants below, so a value's unit is always
+// visible at the call site (e.g. `0.25 * units::ohm_per_um`).
+#pragma once
+
+namespace sna::units {
+
+inline constexpr double femto = 1e-15;
+inline constexpr double pico = 1e-12;
+inline constexpr double nano = 1e-9;
+inline constexpr double micro = 1e-6;
+inline constexpr double milli = 1e-3;
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+
+// Lengths.
+inline constexpr double um = micro;   ///< micrometer in meters
+inline constexpr double nm = nano;    ///< nanometer in meters
+
+// Times.
+inline constexpr double ps = pico;    ///< picosecond in seconds
+inline constexpr double ns = nano;    ///< nanosecond in seconds
+
+// Capacitances.
+inline constexpr double fF = femto;   ///< femtofarad in farads
+inline constexpr double pF = pico;    ///< picofarad in farads
+
+// Per-length wire parasitics (EDA-customary → SI).
+inline constexpr double ohm_per_um = 1.0 / um;   ///< Ω/µm in Ω/m
+inline constexpr double fF_per_um = fF / um;     ///< fF/µm in F/m
+
+/// Volt·picosecond, the paper's glitch-area unit (Tables 1 and 2).
+inline constexpr double volt_ps = pico;
+
+}  // namespace sna::units

@@ -1,0 +1,127 @@
+#include "waveform/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sna::wave {
+
+namespace {
+
+// Crossing time of sign*(v-baseline) == threshold between two samples,
+// assuming the segment actually crosses.
+double crossingTime(const Sample& a, const Sample& b, double baseline,
+                    double sign, double threshold) {
+    const double fa = sign * (a.v - baseline) - threshold;
+    const double fb = sign * (b.v - baseline) - threshold;
+    const double span = fb - fa;
+    if (span == 0.0) return a.t;
+    const double f = -fa / span;
+    return a.t + f * (b.t - a.t);
+}
+
+}  // namespace
+
+GlitchMetrics measureGlitch(const Waveform& w, double baseline) {
+    SNA_REQUIRE(!w.empty(), "cannot measure an empty waveform");
+    GlitchMetrics m;
+    m.baseline = baseline;
+
+    // Locate the extremum deviation; breakpoints are sufficient because the
+    // waveform is piecewise linear.
+    double bestAbs = 0.0;
+    for (const auto& s : w.samples()) {
+        const double dev = s.v - baseline;
+        if (std::abs(dev) > bestAbs) {
+            bestAbs = std::abs(dev);
+            m.peak = dev;
+            m.peakTime = s.t;
+        }
+    }
+    if (bestAbs == 0.0) return m;  // perfectly quiet net
+
+    const double sign = (m.peak >= 0.0) ? 1.0 : -1.0;
+    m.area = sign * integrateDeviation(w, baseline, sign);
+    m.width = timeAbove(w, baseline, sign, 0.5 * bestAbs);
+    return m;
+}
+
+double integrate(const Waveform& w) {
+    SNA_REQUIRE(!w.empty(), "cannot integrate an empty waveform");
+    double acc = 0.0;
+    const auto& s = w.samples();
+    for (std::size_t i = 1; i < s.size(); ++i) {
+        acc += 0.5 * (s[i].v + s[i - 1].v) * (s[i].t - s[i - 1].t);
+    }
+    return acc;
+}
+
+double integrateDeviation(const Waveform& w, double baseline, double sign) {
+    SNA_REQUIRE(!w.empty(), "cannot integrate an empty waveform");
+    const auto& s = w.samples();
+    double acc = 0.0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+        double fa = sign * (s[i - 1].v - baseline);
+        double fb = sign * (s[i].v - baseline);
+        double ta = s[i - 1].t;
+        double tb = s[i].t;
+        if (fa <= 0.0 && fb <= 0.0) continue;
+        if (fa < 0.0) {  // clip at the zero crossing
+            ta = crossingTime(s[i - 1], s[i], baseline, sign, 0.0);
+            fa = 0.0;
+        } else if (fb < 0.0) {
+            tb = crossingTime(s[i - 1], s[i], baseline, sign, 0.0);
+            fb = 0.0;
+        }
+        acc += 0.5 * (fa + fb) * (tb - ta);
+    }
+    return acc;
+}
+
+double timeAbove(const Waveform& w, double baseline, double sign,
+                 double threshold) {
+    SNA_REQUIRE(threshold >= 0.0, "threshold must be non-negative");
+    const auto& s = w.samples();
+    double acc = 0.0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+        const double fa = sign * (s[i - 1].v - baseline) - threshold;
+        const double fb = sign * (s[i].v - baseline) - threshold;
+        if (fa >= 0.0 && fb >= 0.0) {
+            acc += s[i].t - s[i - 1].t;
+        } else if (fa >= 0.0 || fb >= 0.0) {
+            const double tc =
+                crossingTime(s[i - 1], s[i], baseline, sign, threshold);
+            acc += (fa >= 0.0) ? (tc - s[i - 1].t) : (s[i].t - tc);
+        }
+    }
+    return acc;
+}
+
+double maxDifference(const Waveform& a, const Waveform& b) {
+    SNA_REQUIRE(!a.empty() && !b.empty(), "comparing empty waveforms");
+    std::vector<double> times;
+    for (const auto& s : a.samples()) times.push_back(s.t);
+    for (const auto& s : b.samples()) times.push_back(s.t);
+    std::sort(times.begin(), times.end());
+    double m = 0.0;
+    for (double t : times) m = std::max(m, std::abs(a.value(t) - b.value(t)));
+    return m;
+}
+
+double rmsDifference(const Waveform& a, const Waveform& b, std::size_t n) {
+    SNA_REQUIRE(!a.empty() && !b.empty(), "comparing empty waveforms");
+    SNA_REQUIRE(n >= 2, "rms grid needs at least two points");
+    const double t0 = std::min(a.startTime(), b.startTime());
+    const double t1 = std::max(a.endTime(), b.endTime());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = t0 + (t1 - t0) * static_cast<double>(i) /
+                                  static_cast<double>(n - 1);
+        const double d = a.value(t) - b.value(t);
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(n));
+}
+
+}  // namespace sna::wave

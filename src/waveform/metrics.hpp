@@ -1,0 +1,45 @@
+// Glitch metrics: the quantities the paper's tables report.
+//
+// A noise glitch is a deviation from a quiet baseline voltage. Metrics are
+// computed on the deviation |v(t) - baseline|, signed by the dominant
+// direction. `peak` is the paper's "Peak (V)", `area` its "Area (V·ps)"
+// (reported in SI V·s here; benches convert), `width` the time spent above
+// half of the peak deviation (the conventional glitch width in SNA noise
+// rejection curves).
+#pragma once
+
+#include "waveform/waveform.hpp"
+
+namespace sna::wave {
+
+struct GlitchMetrics {
+    double peak = 0.0;      ///< max deviation from baseline, volts (signed)
+    double peakTime = 0.0;  ///< time of the peak
+    double area = 0.0;      ///< integral of deviation in the glitch direction, V·s
+    double width = 0.0;     ///< time above 50% of |peak|, seconds
+    double baseline = 0.0;  ///< the quiet level the metrics are relative to
+};
+
+/// Measure the glitch in `w` relative to `baseline`. The glitch direction is
+/// the sign of the largest deviation; area integrates only the same-signed
+/// deviation (standard SNA practice, so pre/post ringing of the opposite
+/// sign does not cancel the glitch).
+GlitchMetrics measureGlitch(const Waveform& w, double baseline);
+
+/// Trapezoidal integral of the waveform over its span.
+double integrate(const Waveform& w);
+
+/// Integral of max(sign*(v - baseline), 0): one-sided deviation area.
+double integrateDeviation(const Waveform& w, double baseline, double sign);
+
+/// Total time with sign*(v(t)-baseline) >= threshold (threshold >= 0).
+double timeAbove(const Waveform& w, double baseline, double sign,
+                 double threshold);
+
+/// Max |a(t) - b(t)| over the union of spans (engine-vs-engine comparisons).
+double maxDifference(const Waveform& a, const Waveform& b);
+
+/// Root-mean-square difference on a uniform n-point grid.
+double rmsDifference(const Waveform& a, const Waveform& b, std::size_t n = 512);
+
+}  // namespace sna::wave

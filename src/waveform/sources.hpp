@@ -1,0 +1,30 @@
+// Canonical stimulus shapes used across characterization and noise analysis.
+#pragma once
+
+#include "waveform/waveform.hpp"
+
+namespace sna::wave {
+
+/// Saturated ramp: v0 until t0, linear to v1 over `transition`, then v1.
+/// This is the aggressor Thevenin source shape (V_TH in the paper, after
+/// Dartu–Pileggi).
+Waveform saturatedRamp(double v0, double v1, double t0, double transition,
+                       double tEnd);
+
+/// Triangular glitch on a baseline: rises from `baseline` at t0 to
+/// baseline+height at t0+width/2, back at t0+width. The standard shape for
+/// noise-propagation table characterization and NRC probing.
+Waveform triangleGlitch(double baseline, double height, double t0,
+                        double width, double tEnd);
+
+/// Trapezoidal glitch: ramp up over `edge`, hold for `plateau`, ramp down.
+Waveform trapezoidGlitch(double baseline, double height, double t0,
+                         double edge, double plateau, double tEnd);
+
+/// Single-pole decaying-exponential glitch sampled as PWL (n samples); models
+/// realistic crosstalk pulses with a fast rise and RC tail.
+Waveform exponentialGlitch(double baseline, double height, double t0,
+                           double tauRise, double tauFall, double tEnd,
+                           std::size_t n = 64);
+
+}  // namespace sna::wave

@@ -1,0 +1,276 @@
+// Unit and property tests for dense/sparse linear algebra and interpolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/dense.hpp"
+#include "la/interp.hpp"
+#include "la/sparse.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sna;
+using la::DenseMatrix;
+using la::SparseMatrix;
+using la::Vector;
+
+// ----------------------------------------------------------------- dense
+
+TEST(Dense, IdentitySolve) {
+    const auto id = DenseMatrix::identity(4);
+    const Vector b{1, 2, 3, 4};
+    const Vector x = la::solveDense(id, b);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+TEST(Dense, SolveKnownSystem) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 2;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 3;
+    const Vector x = la::solveDense(a, {5, 10});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Dense, PivotingHandlesZeroDiagonal) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 0;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 0;
+    const Vector x = la::solveDense(a, {3, 7});
+    EXPECT_NEAR(x[0], 7.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Dense, SingularThrows) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 4;
+    EXPECT_THROW(la::solveDense(a, {1, 2}), ConvergenceError);
+}
+
+TEST(Dense, DeterminantWithPivotSign) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 0;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 0;
+    la::DenseLu lu(a);
+    EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+}
+
+class DenseRandomSolve : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseRandomSolve, ResidualIsTiny) {
+    const int n = GetParam();
+    util::Rng rng(1000 + n);
+    DenseMatrix a(n, n);
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) a(r, c) = rng.uniform(-1, 1);
+        a(r, r) += n;  // diagonally dominant: well-conditioned
+    }
+    Vector b(n);
+    for (int i = 0; i < n; ++i) b[i] = rng.uniform(-5, 5);
+    const Vector x = la::solveDense(a, b);
+    const Vector ax = a.multiply(x);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseRandomSolve,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(Dense, MultiplyAndTranspose) {
+    DenseMatrix a(2, 3);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(0, 2) = 3;
+    a(1, 0) = 4;
+    a(1, 1) = 5;
+    a(1, 2) = 6;
+    const DenseMatrix at = a.transposed();
+    EXPECT_EQ(at.rows(), 3u);
+    EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+    const DenseMatrix aat = a.multiply(at);
+    EXPECT_DOUBLE_EQ(aat(0, 0), 14.0);
+    EXPECT_DOUBLE_EQ(aat(0, 1), 32.0);
+    EXPECT_DOUBLE_EQ(aat(1, 1), 77.0);
+}
+
+// ---------------------------------------------------------------- sparse
+
+TEST(Sparse, DuplicateStampsAccumulate) {
+    SparseMatrix m(2);
+    m.add(0, 0, 1.0);
+    m.add(0, 0, 2.0);
+    m.add(1, 1, 1.0);
+    EXPECT_DOUBLE_EQ(m.toDense()(0, 0), 3.0);
+    const auto rows = m.consolidatedRows();
+    ASSERT_EQ(rows[0].size(), 1u);
+    EXPECT_DOUBLE_EQ(rows[0][0].value, 3.0);
+}
+
+TEST(Sparse, SolveMatchesDenseOnLadder) {
+    // RC-ladder-like tridiagonal conductance matrix.
+    const int n = 50;
+    SparseMatrix m(n);
+    Vector b(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+        m.add(i, i, 2.0 + 0.01 * i);
+        if (i > 0) {
+            m.add(i, i - 1, -1.0);
+            m.add(i - 1, i, -1.0);
+        }
+    }
+    b[0] = 1.0;
+    const Vector xs = la::SparseLu(m).solve(b);
+    const Vector xd = la::solveDense(m.toDense(), b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-10);
+}
+
+class SparseVsDense : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseVsDense, RandomSparseSystemsAgree) {
+    const int n = GetParam();
+    util::Rng rng(7 + n);
+    SparseMatrix m(n);
+    // Random sparse symmetric-pattern system with dominant diagonal; this is
+    // the regime MNA matrices live in.
+    for (int i = 0; i < n; ++i) m.add(i, i, 4.0 + rng.uniform(0, 1));
+    const int extras = 3 * n;
+    for (int k = 0; k < extras; ++k) {
+        const int r = rng.uniformInt(0, n - 1);
+        const int c = rng.uniformInt(0, n - 1);
+        if (r == c) continue;
+        const double v = rng.uniform(-0.5, 0.5);
+        m.add(r, c, v);
+        m.add(c, r, v);
+    }
+    Vector b(n);
+    for (int i = 0; i < n; ++i) b[i] = rng.uniform(-1, 1);
+    const Vector xs = la::SparseLu(m).solve(b);
+    const Vector xd = la::solveDense(m.toDense(), b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-8) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseVsDense,
+                         ::testing::Values(2, 5, 10, 20, 40, 80, 160));
+
+TEST(Sparse, MultiplyAgreesWithDense) {
+    util::Rng rng(99);
+    const int n = 30;
+    SparseMatrix m(n);
+    for (int k = 0; k < 5 * n; ++k) {
+        m.add(rng.uniformInt(0, n - 1), rng.uniformInt(0, n - 1),
+              rng.uniform(-1, 1));
+    }
+    Vector x(n);
+    for (int i = 0; i < n; ++i) x[i] = rng.uniform(-1, 1);
+    const Vector ys = m.multiply(x);
+    const Vector yd = m.toDense().multiply(x);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(Sparse, ZeroPivotFallsBackInSolveSparse) {
+    // Structurally singular diagonal (a branch-equation-like row).
+    SparseMatrix m(2);
+    m.add(0, 1, 1.0);
+    m.add(1, 0, 1.0);
+    EXPECT_THROW(la::SparseLu lu(m), ConvergenceError);
+    const Vector x = la::solveSparse(m, {2.0, 5.0});
+    EXPECT_NEAR(x[0], 5.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Sparse, FactorNnzReportedForBandedSystem) {
+    const int n = 20;
+    SparseMatrix m(n);
+    for (int i = 0; i < n; ++i) {
+        m.add(i, i, 2.0);
+        if (i > 0) {
+            m.add(i, i - 1, -1.0);
+            m.add(i - 1, i, -1.0);
+        }
+    }
+    la::SparseLu lu(m);
+    // A tridiagonal factor has at most ~3n entries; assert no fill blow-up.
+    EXPECT_LE(lu.factorNnz(), static_cast<std::size_t>(4 * n));
+}
+
+// ---------------------------------------------------------------- interp
+
+TEST(Grid1d, InterpolatesAndClamps) {
+    la::Grid1d g({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+    EXPECT_DOUBLE_EQ(g(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(g(1.5), 5.0);
+    EXPECT_DOUBLE_EQ(g(-1.0), 0.0);  // clamped
+    EXPECT_DOUBLE_EQ(g(3.0), 0.0);   // clamped
+    EXPECT_DOUBLE_EQ(g.derivative(0.25), 10.0);
+    EXPECT_DOUBLE_EQ(g.derivative(1.75), -10.0);
+}
+
+TEST(Grid2d, ExactOnGridPoints) {
+    const std::vector<double> xs{0, 1, 2};
+    const std::vector<double> ys{0, 2};
+    std::vector<double> z(6);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            z[i * 2 + j] = 3.0 * xs[i] - 1.5 * ys[j] + 0.25;
+        }
+    }
+    la::Grid2d g(xs, ys, z);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            EXPECT_NEAR(g(xs[i], ys[j]), z[i * 2 + j], 1e-12);
+        }
+    }
+}
+
+TEST(Grid2d, ReproducesBilinearFunctionExactly) {
+    // f(x,y) = 2 + x - 3y + 0.5xy is bilinear, so interpolation is exact
+    // everywhere inside the grid, and the partials match analytically.
+    auto f = [](double x, double y) { return 2 + x - 3 * y + 0.5 * x * y; };
+    std::vector<double> xs{-1, 0, 2, 3};
+    std::vector<double> ys{-2, 1, 4};
+    std::vector<double> z;
+    for (double x : xs) {
+        for (double y : ys) z.push_back(f(x, y));
+    }
+    la::Grid2d g(xs, ys, z);
+    util::Rng rng(5);
+    for (int k = 0; k < 200; ++k) {
+        const double x = rng.uniform(-1, 3);
+        const double y = rng.uniform(-2, 4);
+        const auto v = g.eval(x, y);
+        EXPECT_NEAR(v.z, f(x, y), 1e-12);
+        EXPECT_NEAR(v.dzdx, 1 + 0.5 * y, 1e-12);
+        EXPECT_NEAR(v.dzdy, -3 + 0.5 * x, 1e-12);
+    }
+}
+
+TEST(Grid2d, ClampsOutsideDomain) {
+    la::Grid2d g({0, 1}, {0, 1}, {0, 0, 1, 1});  // z = x
+    EXPECT_DOUBLE_EQ(g(5.0, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(g(-5.0, 0.5), 0.0);
+}
+
+TEST(Grid2d, RejectsBadConstruction) {
+    EXPECT_THROW(la::Grid2d({0, 1}, {0, 1}, {1, 2, 3}), LogicError);
+    EXPECT_THROW(la::Grid2d({1, 0}, {0, 1}, {1, 2, 3, 4}), LogicError);
+}
+
+// ----------------------------------------------------------------- norms
+
+TEST(Norms, Basics) {
+    EXPECT_DOUBLE_EQ(la::norm2({3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(la::normInf({-7, 3}), 7.0);
+    EXPECT_DOUBLE_EQ(la::norm2({}), 0.0);
+}
+
+}  // namespace

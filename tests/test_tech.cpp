@@ -1,0 +1,65 @@
+// Sanity tests for the synthetic technology descriptions.
+#include <gtest/gtest.h>
+
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace sna;
+
+TEST(Tech, NodesAreDistinct) {
+    const auto& t130 = tech::tech130();
+    const auto& t90 = tech::tech90();
+    EXPECT_NE(t130.name, t90.name);
+    EXPECT_GT(t130.vdd, t90.vdd);
+    EXPECT_GT(t130.lmin, t90.lmin);
+}
+
+class TechSanity : public ::testing::TestWithParam<const tech::Technology*> {};
+
+TEST_P(TechSanity, DevicePolarityAndStrength) {
+    const auto& t = *GetParam();
+    EXPECT_EQ(t.nmos.type, spice::MosType::Nmos);
+    EXPECT_EQ(t.pmos.type, spice::MosType::Pmos);
+    // NMOS is stronger per width than PMOS (mobility ratio).
+    EXPECT_GT(t.nmos.kp, t.pmos.kp);
+    // Thresholds leave headroom at the nominal supply.
+    EXPECT_LT(t.nmos.vt0, 0.5 * t.vdd);
+    EXPECT_LT(t.pmos.vt0, 0.5 * t.vdd);
+    // PMOS is drawn wider to balance the inverter.
+    EXPECT_GT(t.wpUnit, t.wnUnit);
+}
+
+TEST_P(TechSanity, LayersArePhysical) {
+    const auto& t = *GetParam();
+    ASSERT_FALSE(t.layers.empty());
+    for (const auto& l : t.layers) {
+        EXPECT_GT(l.rPerUm, 0.0);
+        EXPECT_GT(l.cgPerUm, 0.0);
+        // At minimum spacing the coupling component dominates ground cap
+        // (the premise of the paper's crosstalk problem).
+        EXPECT_GT(l.ccPerUm, l.cgPerUm);
+    }
+    EXPECT_NO_THROW(t.layer("M4"));
+    EXPECT_THROW(t.layer("M99"), ModelError);
+}
+
+TEST_P(TechSanity, M4MatchesPaperScale) {
+    // The paper's test case: 500 um of M4. Total parasitics should be in
+    // the classic deep-submicron range (tens of ohms to a few hundred,
+    // tens of fF).
+    const auto& t = *GetParam();
+    const auto& m4 = t.layer("M4");
+    const double r = m4.rPerUm * 500.0;
+    const double cc = m4.ccPerUm * 500.0;
+    EXPECT_GT(r, 20.0);
+    EXPECT_LT(r, 1000.0);
+    EXPECT_GT(cc, 20e-15);
+    EXPECT_LT(cc, 200e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, TechSanity,
+                         ::testing::ValuesIn(tech::allTechnologies()));
+
+}  // namespace
