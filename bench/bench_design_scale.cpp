@@ -1,0 +1,215 @@
+// Experiment D1 — design-scale throughput of the full-design noise pipeline.
+//
+// Generates synthetic N-net coupled designs (a ring of parallel routes, each
+// net coupled to both neighbours through distinct caps) as SPEF text,
+// connects a gate-level design to them, and times end-to-end analyzeDesign:
+//   * reference: the pre-index brute-force sweep (linear instance scans,
+//     all-net cap scans, full per-cluster re-characterization, serial);
+//   * optimized: DesignIndex + shared CharCache, at 1 and 4 threads.
+// Margins are cross-checked within 1e-9 between every path. Emits one JSON
+// object (for the bench trajectory) after the human-readable table.
+//
+// Run:  ./build/bench_design_scale [--nets 50,200,800] [--reference-max 200]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sna.hpp"
+#include "interconnect/parallel_bus.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace sna;
+
+// Ring design: net i is driven by d<i>, loaded by r<i>, and coupled to nets
+// i-1 and i+1 through mid-node caps with distinct values (no rank ties).
+std::string syntheticSpef(int nets) {
+    std::ostringstream os;
+    os << "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"scale_" << nets << "\"\n";
+    os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n\n";
+    for (int i = 0; i < nets; ++i) {
+        const int j = (i + 1) % nets;
+        const double cc = 8.0 + (i % 11);  // fF, to the right-hand neighbour
+        os << "*D_NET n" << i << " " << (6.5 + cc) << "\n";
+        os << "*CONN\n*I d" << i << ":y O\n*I r" << i << ":a I\n";
+        os << "*CAP\n";
+        os << "1 d" << i << ":y 2.0\n";
+        os << "2 n" << i << ":1 3.0\n";
+        os << "3 r" << i << ":a 1.5\n";
+        os << "4 n" << i << ":1 n" << j << ":1 " << cc << "\n";
+        os << "*RES\n";
+        os << "1 d" << i << ":y n" << i << ":1 40\n";
+        os << "2 n" << i << ":1 r" << i << ":a 40\n";
+        os << "*END\n\n";
+    }
+    return os.str();
+}
+
+void buildDesign(core::Design& design, int nets) {
+    auto inst = [&](const std::string& name, const std::string& cellName,
+                    std::map<std::string, std::string> pins) {
+        core::Instance in;
+        in.name = name;
+        in.cellName = cellName;
+        in.pinToNet = std::move(pins);
+        design.addInstance(std::move(in));
+    };
+    for (int i = 0; i < nets; ++i) {
+        const std::string n = std::to_string(i);
+        inst("d" + n, (i % 2 == 0) ? "INV_X1" : "INV_X2",
+             {{"a", "pi" + n}, {"y", "n" + n}});
+        inst("r" + n, (i % 2 == 0) ? "INV_X2" : "INV_X1",
+             {{"a", "n" + n}, {"y", "po" + n}});
+    }
+}
+
+double seconds(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+double maxMarginDiff(const std::vector<core::NetNoiseReport>& a,
+                     const std::vector<core::NetNoiseReport>& b) {
+    if (a.size() != b.size()) return 1e9;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].net != b[i].net || a[i].aggressorNets != b[i].aggressorNets) {
+            return 1e9;
+        }
+        worst = std::max(worst,
+                         std::abs(a[i].cluster.margin - b[i].cluster.margin));
+    }
+    return worst;
+}
+
+struct Row {
+    int nets = 0;
+    double refSec = -1.0;  ///< < 0: reference not measured at this size
+    double opt1Sec = 0.0;
+    double opt4Sec = 0.0;
+    double marginDiff = 0.0;
+    std::size_t reports = 0;
+    std::size_t loadCurveRuns = 0;
+    std::size_t nrcRuns = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<int> sizes{50, 200, 800};
+    int referenceMax = 200;  // brute force is super-quadratic; cap it
+    try {
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--nets") == 0 && i + 1 < argc) {
+                sizes.clear();
+                std::istringstream is(argv[++i]);
+                std::string tok;
+                while (std::getline(is, tok, ',')) {
+                    sizes.push_back(std::stoi(tok));
+                }
+            } else if (std::strcmp(argv[i], "--reference-max") == 0 &&
+                       i + 1 < argc) {
+                referenceMax = std::stoi(argv[++i]);
+            } else {
+                std::fprintf(stderr,
+                             "usage: %s [--nets N1,N2,...] "
+                             "[--reference-max N]\n",
+                             argv[0]);
+                return 1;
+            }
+        }
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "bad numeric argument\n");
+        return 1;
+    }
+
+    const cell::CellLibrary lib(tech::tech130());
+    std::vector<Row> rows;
+    for (const int n : sizes) {
+        const auto spef = parser::parseSpef(syntheticSpef(n));
+        core::Design design(lib);
+        buildDesign(design, n);
+
+        core::DesignNoiseOptions opt;
+        opt.maxAggressors = 2;
+        // Alignment probes cost the same in both paths; disable the search so
+        // the measurement isolates the pipeline (index + cache + threads).
+        opt.report.searchAlignment = false;
+
+        Row row;
+        row.nets = n;
+
+        charlib::CharCache cache;
+        opt.cache = &cache;
+        opt.threads = 1;
+        auto t0 = std::chrono::steady_clock::now();
+        const auto opt1 = core::analyzeDesign(design, spef, opt);
+        row.opt1Sec = seconds(t0);
+        const auto stats = cache.stats();
+        row.loadCurveRuns = stats.loadCurveRuns;
+        row.nrcRuns = stats.nrcRuns;
+        row.reports = opt1.size();
+
+        charlib::CharCache cache4;
+        opt.cache = &cache4;
+        opt.threads = 4;
+        t0 = std::chrono::steady_clock::now();
+        const auto opt4 = core::analyzeDesign(design, spef, opt);
+        row.opt4Sec = seconds(t0);
+        row.marginDiff = maxMarginDiff(opt1, opt4);
+
+        if (n <= referenceMax) {
+            t0 = std::chrono::steady_clock::now();
+            const auto ref = core::analyzeDesignReference(design, spef, opt);
+            row.refSec = seconds(t0);
+            row.marginDiff =
+                std::max(row.marginDiff, maxMarginDiff(opt1, ref));
+        }
+        rows.push_back(row);
+        std::fprintf(stderr, "done %d nets\n", n);
+    }
+
+    util::Table table({"Nets", "Reports", "Reference (s)", "Opt t=1 (s)",
+                       "Opt t=4 (s)", "Speed-up", "Max |dMargin| (V)",
+                       "LC runs", "NRC runs"});
+    for (const auto& r : rows) {
+        const double best = std::min(r.opt1Sec, r.opt4Sec);
+        table.addRow(
+            {std::to_string(r.nets), std::to_string(r.reports),
+             r.refSec < 0 ? "-" : util::Table::num(r.refSec, 2),
+             util::Table::num(r.opt1Sec, 2), util::Table::num(r.opt4Sec, 2),
+             r.refSec < 0 ? "-" : util::Table::num(r.refSec / best, 1),
+             util::Table::num(r.marginDiff, 12),
+             std::to_string(r.loadCurveRuns), std::to_string(r.nrcRuns)});
+    }
+    std::printf("Design-scale noise analysis throughput\n\n%s\n",
+                table.str().c_str());
+
+    std::printf("{\"bench\": \"design_scale\", \"rows\": [");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        const std::string refStr =
+            r.refSec < 0 ? "null" : util::Table::num(r.refSec, 4);
+        const std::string speedupStr =
+            r.refSec < 0
+                ? "null"
+                : util::Table::num(r.refSec / std::min(r.opt1Sec, r.opt4Sec),
+                                   2);
+        std::printf(
+            "%s{\"nets\": %d, \"reports\": %zu, \"reference_sec\": %s, "
+            "\"optimized_t1_sec\": %.4f, \"optimized_t4_sec\": %.4f, "
+            "\"speedup\": %s, \"max_margin_diff\": %.3e, "
+            "\"load_curve_runs\": %zu, \"nrc_runs\": %zu}",
+            i == 0 ? "" : ", ", r.nets, r.reports, refStr.c_str(), r.opt1Sec,
+            r.opt4Sec, speedupStr.c_str(), r.marginDiff, r.loadCurveRuns,
+            r.nrcRuns);
+    }
+    std::printf("]}\n");
+    return 0;
+}

@@ -33,4 +33,15 @@ private:
     std::map<std::string, Cell> cells_;
 };
 
+/// Process-wide library for `tech`, built once per distinct technology and
+/// shared. Thread-safe; the returned reference stays valid for the process
+/// lifetime. Hot paths (cluster assembly, characterization, NRC checks) use
+/// this instead of constructing a fresh CellLibrary per call.
+///
+/// Keyed on the technology's full electrical identity (bitwise parameters,
+/// not the object's address) and backed by an owned copy, so short-lived or
+/// mutated Technology objects — e.g. a corner sweep rebuilding one at the
+/// same stack address — each get their own correct library.
+const CellLibrary& sharedLibrary(const tech::Technology& tech);
+
 }  // namespace sna::cell

@@ -1,0 +1,165 @@
+#include "charlib/char_cache.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sna::charlib {
+
+namespace {
+
+// Bitwise double encoding: cache keys must distinguish every numerically
+// distinct spec (a hit must reproduce the direct call exactly), so no
+// rounding or formatting is involved.
+void putDouble(std::ostringstream& os, double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    os << '/' << std::hex << bits << std::dec;
+}
+
+// Cells from different technologies share names (every library has an
+// INV_X1), so keys lead with the technology's full electrical identity —
+// name alone is not enough (corner sweeps perturb transistor models while
+// keeping the name): a shared cache must not hand tech-A models to a
+// tech-B run.
+void putMosModel(std::ostringstream& os, const spice::MosModel& m) {
+    putDouble(os, m.vt0);
+    putDouble(os, m.kp);
+    putDouble(os, m.lambda);
+    putDouble(os, m.gamma);
+    putDouble(os, m.phi);
+    putDouble(os, m.cox);
+    putDouble(os, m.cgso);
+    putDouble(os, m.cgdo);
+    putDouble(os, m.cj);
+    putDouble(os, m.cjsw);
+    putDouble(os, m.ldiff);
+}
+
+void putTech(std::ostringstream& os, const cell::Cell& c) {
+    const tech::Technology& t = c.technology();
+    os << t.name;
+    putDouble(os, t.vdd);
+    putDouble(os, t.lmin);
+    putDouble(os, t.wnUnit);
+    putDouble(os, t.wpUnit);
+    putMosModel(os, t.nmos);
+    putMosModel(os, t.pmos);
+    os << '/';
+}
+
+std::string keyOf(const LoadCurveSpec& s) {
+    SNA_REQUIRE(s.cell != nullptr, "load-curve spec needs a cell");
+    std::ostringstream os;
+    putTech(os, *s.cell);
+    os << s.cell->name() << '/' << s.input << '/' << s.outputLevel << '/'
+       << s.nVin << '/' << s.nVout;
+    putDouble(os, s.vMin);
+    putDouble(os, s.vMax);
+    return os.str();
+}
+
+std::string keyOf(const TheveninSpec& s) {
+    SNA_REQUIRE(s.cell != nullptr, "thevenin spec needs a cell");
+    std::ostringstream os;
+    putTech(os, *s.cell);
+    os << s.cell->name() << '/' << s.input << '/' << s.outputRising;
+    putDouble(os, s.loadCap);
+    putDouble(os, s.inputSlew);
+    return os.str();
+}
+
+std::string keyOf(const NrcSpec& s) {
+    SNA_REQUIRE(s.cell != nullptr, "NRC spec needs a cell");
+    std::ostringstream os;
+    putTech(os, *s.cell);
+    os << s.cell->name() << '/' << s.input << '/' << s.quietLevel;
+    putDouble(os, s.loadCap);
+    putDouble(os, s.failFraction);
+    for (const double w : s.widths) putDouble(os, w);
+    return os.str();
+}
+
+}  // namespace
+
+template <typename T, typename Fn>
+std::shared_ptr<const T> CharCache::getOrCompute(Table<T>& table,
+                                                 const std::string& key,
+                                                 Fn compute) {
+    std::shared_future<std::shared_ptr<const T>> fut;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        const auto it = table.entries.find(key);
+        if (it != table.entries.end()) {
+            ++table.hits;
+            fut = it->second;
+        } else if (table.entries.size() >= table.maxEntries) {
+            // Table full: characterize without storing, so a shared cache
+            // stays bounded under never-repeating keys.
+            ++table.runs;
+            lock.unlock();
+            return std::make_shared<const T>(compute());
+        } else {
+            ++table.runs;
+            std::promise<std::shared_ptr<const T>> prom;
+            fut = prom.get_future().share();
+            table.entries.emplace(key, fut);
+            lock.unlock();
+            // Characterize outside the lock: other keys proceed in parallel,
+            // same-key callers block on the future (single-flight).
+            try {
+                prom.set_value(std::make_shared<const T>(compute()));
+            } catch (...) {
+                prom.set_exception(std::current_exception());
+                std::lock_guard<std::mutex> relock(mu_);
+                table.entries.erase(key);  // allow a later retry
+            }
+        }
+    }
+    return fut.get();
+}
+
+std::shared_ptr<const la::Grid2d> CharCache::loadCurve(
+    const LoadCurveSpec& spec) {
+    return getOrCompute(loadCurves_, keyOf(spec),
+                        [&] { return characterizeLoadCurve(spec); });
+}
+
+std::shared_ptr<const TheveninModel> CharCache::thevenin(
+    const TheveninSpec& spec) {
+    return getOrCompute(thevenins_, keyOf(spec),
+                        [&] { return characterizeThevenin(spec); });
+}
+
+std::shared_ptr<const la::Grid1d> CharCache::nrc(const NrcSpec& spec) {
+    return getOrCompute(nrcs_, keyOf(spec),
+                        [&] { return characterizeNrc(spec); });
+}
+
+CharCache::Stats CharCache::stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.loadCurveRuns = loadCurves_.runs;
+    s.loadCurveHits = loadCurves_.hits;
+    s.theveninRuns = thevenins_.runs;
+    s.theveninHits = thevenins_.hits;
+    s.nrcRuns = nrcs_.runs;
+    s.nrcHits = nrcs_.hits;
+    return s;
+}
+
+void CharCache::clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto reset = [](auto& table) {
+        table.entries.clear();
+        table.runs = 0;
+        table.hits = 0;
+    };
+    reset(loadCurves_);
+    reset(thevenins_);
+    reset(nrcs_);
+}
+
+}  // namespace sna::charlib

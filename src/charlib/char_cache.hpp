@@ -1,0 +1,79 @@
+// Shared characterization cache: run each pre-characterization once per run.
+//
+// The paper's speed-up comes from amortizing cell characterization across
+// clusters; a design-level sweep re-deriving the same NAND2 load curve for
+// every victim net throws that away. CharCache memoizes the three
+// characterizations the cluster flow consumes — load-curve tables (DC
+// sweeps), aggressor Thevenin equivalents, and receiver NRCs — keyed on the
+// exact spec (cell name, pin, level, grid, bitwise numeric parameters), so a
+// hit returns the identical model the direct call would have produced.
+//
+// Thread-safe with single-flight semantics: when two workers request the
+// same uncharacterized key, one runs the sweep and the other blocks on the
+// shared future, so each (cell, level, grid) is characterized exactly once
+// per run no matter how many clusters need it.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "charlib/characterize.hpp"
+
+namespace sna::charlib {
+
+class CharCache {
+public:
+    CharCache() = default;
+    CharCache(const CharCache&) = delete;
+    CharCache& operator=(const CharCache&) = delete;
+
+    /// Load-curve table for the spec; characterizes on first use.
+    std::shared_ptr<const la::Grid2d> loadCurve(const LoadCurveSpec& spec);
+
+    /// Thevenin equivalent for the spec; characterizes on first use.
+    std::shared_ptr<const TheveninModel> thevenin(const TheveninSpec& spec);
+
+    /// Noise rejection curve for the spec; characterizes on first use.
+    std::shared_ptr<const la::Grid1d> nrc(const NrcSpec& spec);
+
+    struct Stats {
+        std::size_t loadCurveRuns = 0;  ///< actual DC-sweep characterizations
+        std::size_t loadCurveHits = 0;
+        std::size_t theveninRuns = 0;
+        std::size_t theveninHits = 0;
+        std::size_t nrcRuns = 0;
+        std::size_t nrcHits = 0;
+    };
+    Stats stats() const;
+
+    void clear();
+
+private:
+    template <typename T>
+    struct Table {
+        std::map<std::string, std::shared_future<std::shared_ptr<const T>>>
+            entries;
+        std::size_t runs = 0;
+        std::size_t hits = 0;
+        /// Insertion stops at this size; further misses characterize without
+        /// storing. Bounds long-lived shared caches on workloads whose keys
+        /// never repeat (Thevenin keys embed the bitwise cluster load cap,
+        /// which is unique per cluster on real extracted parasitics).
+        std::size_t maxEntries = 65536;
+    };
+
+    template <typename T, typename Fn>
+    std::shared_ptr<const T> getOrCompute(Table<T>& table,
+                                          const std::string& key, Fn compute);
+
+    mutable std::mutex mu_;
+    Table<la::Grid2d> loadCurves_;
+    Table<TheveninModel> thevenins_{{}, 0, 0, 4096};
+    Table<la::Grid1d> nrcs_;
+};
+
+}  // namespace sna::charlib

@@ -34,7 +34,7 @@ double victimBaseline(const ClusterSpec& spec) {
 std::optional<wave::Waveform> victimInputGlitch(const ClusterSpec& spec,
                                                 double glitchTime) {
     if (spec.victim.glitchHeight <= 0.0) return std::nullopt;
-    const cell::CellLibrary lib(*spec.technology);
+    const cell::CellLibrary& lib = cell::sharedLibrary(*spec.technology);
     const cell::Cell& driver = lib.cell(spec.victim.driverCell);
     const auto holding =
         driver.holdingVector(spec.victim.outputLevel, spec.victim.glitchInput);
@@ -49,7 +49,7 @@ std::optional<wave::Waveform> victimInputGlitch(const ClusterSpec& spec,
 NoiseResult simulateGolden(const ClusterSpec& spec) {
     const auto start = std::chrono::steady_clock::now();
     const double vdd = spec.technology->vdd;
-    const cell::CellLibrary lib(*spec.technology);
+    const cell::CellLibrary& lib = cell::sharedLibrary(*spec.technology);
     const ic::RcNetwork net = clusterNet(spec);
 
     spice::Circuit ckt;

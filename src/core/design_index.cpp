@@ -1,0 +1,64 @@
+#include "core/design_index.hpp"
+
+namespace sna::core {
+
+namespace {
+
+std::string ownerOf(const std::string& node) {
+    return node.substr(0, node.find(':'));
+}
+
+}  // namespace
+
+DesignIndex::DesignIndex(const Design& design, const parser::SpefFile& spef) {
+    const cell::CellLibrary& lib = design.library();
+
+    // One pass over the instances: pin roles come from the cell definition.
+    for (const auto& inst : design.instances()) {
+        const cell::Cell& c = lib.cell(inst.cellName);
+        const auto out = inst.pinToNet.find(c.outputName());
+        if (out != inst.pinToNet.end()) {
+            driverByNet_.emplace(out->second, &inst);  // first driver wins
+        }
+        for (const auto& in : c.inputNames()) {
+            const auto it = inst.pinToNet.find(in);
+            if (it != inst.pinToNet.end()) {
+                loadsByNet_[it->second].push_back({&inst, in});
+            }
+        }
+    }
+
+    // One pass over every cap of every SPEF section: coupling caps attribute
+    // symmetrically to both owning nets, wherever they were listed.
+    for (const auto& [netName, spefNet] : spef.nets()) {
+        for (const auto& cap : spefNet.caps) {
+            if (cap.node2.empty()) continue;
+            const std::string o1 = ownerOf(cap.node1);
+            const std::string o2 = ownerOf(cap.node2);
+            if (o1 == o2) continue;
+            couplingByNet_[o1][o2] += cap.farads;
+            couplingByNet_[o2][o1] += cap.farads;
+        }
+    }
+}
+
+const Instance* DesignIndex::driverOf(const std::string& net) const {
+    const auto it = driverByNet_.find(net);
+    return it == driverByNet_.end() ? nullptr : it->second;
+}
+
+const std::vector<std::pair<const Instance*, std::string>>&
+DesignIndex::loadsOf(const std::string& net) const {
+    static const std::vector<std::pair<const Instance*, std::string>> kEmpty;
+    const auto it = loadsByNet_.find(net);
+    return it == loadsByNet_.end() ? kEmpty : it->second;
+}
+
+const std::map<std::string, double>& DesignIndex::couplingOf(
+    const std::string& net) const {
+    static const std::map<std::string, double> kEmpty;
+    const auto it = couplingByNet_.find(net);
+    return it == couplingByNet_.end() ? kEmpty : it->second;
+}
+
+}  // namespace sna::core

@@ -1,0 +1,53 @@
+// One-pass connectivity + coupling index for design-level noise analysis.
+//
+// The naive design sweep is super-quadratic: Design::driverOf/loadsOf scan
+// every instance per query, and ranking one (victim, aggressor) pair scans
+// every cap of every SPEF net (coupling caps may be listed under either
+// net's section). DesignIndex folds all of that into one pass over the
+// instances and one pass over the SPEF caps, after which every query the
+// sweep needs is a hash lookup:
+//   * net -> driving instance (its output pin is on the net),
+//   * net -> (instance, input pin) loads,
+//   * net -> {coupled net -> summed coupling cap}, symmetric regardless of
+//     which section listed the cap.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/sna.hpp"
+#include "parser/spef_parser.hpp"
+
+namespace sna::core {
+
+class DesignIndex {
+public:
+    DesignIndex(const Design& design, const parser::SpefFile& spef);
+
+    /// Instance driving `net`, or nullptr. Matches Design::driverOf (first
+    /// instance in design order wins when a net is multiply driven).
+    const Instance* driverOf(const std::string& net) const;
+
+    /// (instance, input pin) loads of `net`, in design order; empty if none.
+    const std::vector<std::pair<const Instance*, std::string>>& loadsOf(
+        const std::string& net) const;
+
+    /// Coupled-net -> summed coupling cap of `net` (F), over every *CAP
+    /// section of the SPEF; empty map if the net has no coupling. Ordered by
+    /// net name for deterministic iteration.
+    const std::map<std::string, double>& couplingOf(
+        const std::string& net) const;
+
+private:
+    std::unordered_map<std::string, const Instance*> driverByNet_;
+    std::unordered_map<std::string,
+                       std::vector<std::pair<const Instance*, std::string>>>
+        loadsByNet_;
+    std::unordered_map<std::string, std::map<std::string, double>>
+        couplingByNet_;
+};
+
+}  // namespace sna::core

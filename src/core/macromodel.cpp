@@ -13,7 +13,7 @@ namespace sna::core {
 
 ClusterMacromodel::ClusterMacromodel(const ClusterSpec& spec, Options opt)
     : spec_(spec), opt_(opt), net_(clusterNet(spec)) {
-    const cell::CellLibrary lib(*spec_.technology);
+    const cell::CellLibrary& lib = cell::sharedLibrary(*spec_.technology);
     const double vdd = spec_.technology->vdd;
 
     // --- victim driver: the load-curve table (Eq. (1)) -------------------
@@ -24,7 +24,9 @@ ClusterMacromodel::ClusterMacromodel(const ClusterSpec& spec, Options opt)
     lc.outputLevel = spec_.victim.outputLevel;
     lc.nVin = opt_.loadCurveGrid;
     lc.nVout = opt_.loadCurveGrid;
-    loadCurve_ = charlib::characterizeLoadCurve(lc);
+    loadCurve_ = opt_.cache ? opt_.cache->loadCurve(lc)
+                            : std::make_shared<const la::Grid2d>(
+                                  charlib::characterizeLoadCurve(lc));
     const auto hold =
         vic.holdingVector(spec_.victim.outputLevel, spec_.victim.glitchInput);
     vinHold_ = hold.at(spec_.victim.glitchInput) ? vdd : 0.0;
@@ -62,7 +64,9 @@ ClusterMacromodel::ClusterMacromodel(const ClusterSpec& spec, Options opt)
             if (o != wire) coupling += net_.couplingCapBetween(wire, o);
         }
         ts.loadCap = net_.totalGroundCapOf(wire) + coupling + rxCaps_[a + 1];
-        aggressors_.push_back(charlib::characterizeThevenin(ts));
+        aggressors_.push_back(opt_.cache
+                                  ? *opt_.cache->thevenin(ts)
+                                  : charlib::characterizeThevenin(ts));
     }
 
     // --- interconnect reduction -------------------------------------------
@@ -81,7 +85,7 @@ ClusterMacromodel::ClusterMacromodel(const ClusterSpec& spec, Options opt)
 }
 
 double ClusterMacromodel::victimHoldingResistance() const {
-    return charlib::holdingResistance(loadCurve_, vinHold_, voutHold_);
+    return charlib::holdingResistance(*loadCurve_, vinHold_, voutHold_);
 }
 
 const mor::CoupledPiModel& ClusterMacromodel::reducedPi() const {
@@ -92,7 +96,7 @@ const mor::CoupledPiModel& ClusterMacromodel::reducedPi() const {
 
 const charlib::PropagationTable& ClusterMacromodel::propagationTable() const {
     if (!propagation_.has_value()) {
-        const cell::CellLibrary lib(*spec_.technology);
+        const cell::CellLibrary& lib = cell::sharedLibrary(*spec_.technology);
         charlib::PropagationSpec ps;
         ps.cell = &lib.cell(spec_.victim.driverCell);
         ps.input = spec_.victim.glitchInput;
@@ -136,7 +140,7 @@ NoiseResult ClusterMacromodel::analyzeAt(
         ckt.addVSource("v_in", vin, spice::kGround,
                        spice::SourceSpec::dc(vinHold_));
     }
-    ckt.addTableVccs("idc_victim", dp, vin, loadCurve_);
+    ckt.addTableVccs("idc_victim", dp, vin, *loadCurve_);
 
     std::vector<spice::NodeId> drvNodes{dp};
     ckt.addCapacitor("cdrv0", dp, spice::kGround, drvCaps_[0]);
@@ -195,8 +199,8 @@ std::string ClusterMacromodel::describe() const {
     std::ostringstream os;
     os << "Noise-cluster macromodel (Fig. 1 of the paper)\n";
     os << "  victim driver " << spec_.victim.driverCell << " -> VCCS I_DC"
-       << " = f(V_in, V_out), " << loadCurve_.xs().size() << "x"
-       << loadCurve_.ys().size() << " load-curve table\n";
+       << " = f(V_in, V_out), " << loadCurve_->xs().size() << "x"
+       << loadCurve_->ys().size() << " load-curve table\n";
     os << "    input hold " << vinHold_ << " V, output hold " << voutHold_
        << " V, holding resistance " << victimHoldingResistance() << " ohm\n";
     for (std::size_t a = 0; a < aggressors_.size(); ++a) {

@@ -15,10 +15,12 @@
 // hundreds, this is where the paper's ~20x speed-up comes from.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "charlib/char_cache.hpp"
 #include "charlib/characterize.hpp"
 #include "core/cluster.hpp"
 #include "mor/coupled_pi.hpp"
@@ -30,6 +32,11 @@ struct MacromodelOptions {
     bool usePrima = false;  ///< PRIMA multiport instead of coupled-Pi
     int primaBlocks = 3;
     int loadCurveGrid = 33; ///< points per axis of the I_DC table
+    /// Shared characterization cache. When set, load curves and Thevenin
+    /// equivalents are looked up (and characterized at most once per key)
+    /// instead of re-swept per cluster; nullptr characterizes directly.
+    /// Cached results are bitwise identical to the direct path.
+    charlib::CharCache* cache = nullptr;
 };
 
 class ClusterMacromodel {
@@ -50,7 +57,7 @@ public:
                           double glitchTime) const;
 
     // ---- introspection (Fig. 1 bench, baselines) ----
-    const la::Grid2d& loadCurve() const { return loadCurve_; }
+    const la::Grid2d& loadCurve() const { return *loadCurve_; }
     double inputHoldLevel() const { return vinHold_; }
     double outputHoldLevel() const { return voutHold_; }
     /// Victim linearization at the quiet point (baseline B1's model).
@@ -78,7 +85,8 @@ private:
     ClusterSpec spec_;
     Options opt_;
     ic::RcNetwork net_;
-    la::Grid2d loadCurve_;
+    /// Shared with the cache on a hit (immutable); owned otherwise.
+    std::shared_ptr<const la::Grid2d> loadCurve_;
     double vinHold_ = 0.0;
     double voutHold_ = 0.0;
     std::vector<charlib::TheveninModel> aggressors_;

@@ -31,7 +31,9 @@ ClusterReport analyzeCluster(const ClusterSpec& spec,
                              const ReportOptions& opt = {});
 
 /// NRC check only (reusable by the design flow): failing height of the
-/// receiver at the measured width.
-double nrcLimitFor(const ClusterSpec& spec, const wave::GlitchMetrics& m);
+/// receiver at the measured width. With a cache, the NRC characterization
+/// runs at most once per (receiver cell, level, width grid).
+double nrcLimitFor(const ClusterSpec& spec, const wave::GlitchMetrics& m,
+                   charlib::CharCache* cache = nullptr);
 
 }  // namespace sna::core

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "core/design_index.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sna::core {
 
@@ -42,9 +44,134 @@ std::vector<std::pair<const Instance*, std::string>> Design::loadsOf(
     return out;
 }
 
+namespace {
+
+/// Worst-of-both-holding-levels cluster analysis for one victim net. The
+/// aggressor list is already ranked strongest-coupled first; each entry is
+/// (driver cell name, aggressor net name).
+NetNoiseReport analyzeVictim(
+    const cell::CellLibrary& lib, const std::string& netName,
+    const Instance& driver, const Instance& firstLoad,
+    const std::vector<std::pair<std::string, std::string>>& rankedAggressors,
+    const ic::RcNetwork& rc, double tstop, const ReportOptions& ropt) {
+    NetNoiseReport report;
+    report.net = netName;
+    for (const auto& [drvCell, agg] : rankedAggressors) {
+        report.aggressorNets.push_back(agg);
+    }
+
+    // Both victim holding levels are checked; the worse margin wins.
+    bool first = true;
+    for (const bool level : {false, true}) {
+        ClusterSpec spec;
+        spec.technology = &lib.technology();
+        spec.customNet = &rc;
+        spec.tstop = tstop;
+        spec.victim.driverCell = driver.cellName;
+        spec.victim.outputLevel = level;
+        spec.victim.glitchInput =
+            lib.cell(driver.cellName).inputNames().front();
+        spec.victim.receiverCell = firstLoad.cellName;
+        for (const auto& [drvCell, agg] : rankedAggressors) {
+            AggressorSpec as;
+            as.driverCell = drvCell;
+            // The damaging direction: aggressors switch away from the
+            // victim's held level.
+            as.outputRising = !level;
+            spec.aggressors.push_back(as);
+        }
+        auto cluster = analyzeCluster(spec, ropt);
+        if (first || cluster.margin < report.cluster.margin) {
+            report.cluster = std::move(cluster);
+        }
+        first = false;
+    }
+    return report;
+}
+
+}  // namespace
+
 std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                                           const parser::SpefFile& spef,
                                           const DesignNoiseOptions& opt) {
+    const cell::CellLibrary& lib = design.library();
+    const DesignIndex index(design, spef);
+    charlib::CharCache runCache;
+    charlib::CharCache* cache = opt.cache ? opt.cache : &runCache;
+
+    // ---- phase 1 (serial, index lookups only): select victims and rank
+    // their aggressors by summed coupling cap.
+    struct Work {
+        const std::string* net;
+        const Instance* driver;
+        const Instance* firstLoad;
+        /// (driver cell, aggressor net), strongest-coupled first.
+        std::vector<std::pair<std::string, std::string>> ranked;
+    };
+    std::vector<Work> work;
+    for (const auto& [netName, spefNet] : spef.nets()) {
+        const auto& coupling = index.couplingOf(netName);
+        if (coupling.empty()) continue;
+        const Instance* driver = index.driverOf(netName);
+        if (driver == nullptr) {
+            log::warn() << "SPEF net '" << netName
+                        << "' has coupling but no driver in the design";
+            continue;
+        }
+        const auto& loads = index.loadsOf(netName);
+        if (loads.empty()) continue;
+
+        // Keep the strongest-coupled aggressors that are SPEF nets with
+        // drivers; ties break on the net name for determinism.
+        std::vector<std::pair<double, std::string>> ranked;
+        for (const auto& [agg, cc] : coupling) {
+            if (spef.nets().find(agg) == spef.nets().end()) continue;
+            if (index.driverOf(agg) == nullptr) continue;
+            ranked.push_back({cc, agg});
+        }
+        std::sort(ranked.begin(), ranked.end(), [](const auto& a,
+                                                   const auto& b) {
+            return a.first != b.first ? a.first > b.first
+                                      : a.second < b.second;
+        });
+        if (ranked.size() > opt.maxAggressors) {
+            ranked.resize(opt.maxAggressors);
+        }
+        if (ranked.empty()) continue;
+
+        Work w;
+        w.net = &netName;
+        w.driver = driver;
+        w.firstLoad = loads.front().first;
+        for (const auto& [cc, agg] : ranked) {
+            w.ranked.push_back({index.driverOf(agg)->cellName, agg});
+        }
+        work.push_back(std::move(w));
+    }
+
+    ReportOptions ropt = opt.report;
+    if (ropt.macromodel.cache == nullptr) ropt.macromodel.cache = cache;
+
+    // ---- phase 2 (parallel): one independent cluster solve per victim.
+    // Slot i holds net i's report, so ordering stays SPEF order at any
+    // thread count.
+    std::vector<NetNoiseReport> reports(work.size());
+    util::parallelFor(opt.threads, static_cast<int>(work.size()), [&](int i) {
+        const Work& w = work[i];
+        std::vector<std::string> clusterNets{*w.net};
+        for (const auto& [drvCell, agg] : w.ranked) {
+            clusterNets.push_back(agg);
+        }
+        const ic::RcNetwork rc = ic::rcFromSpef(spef, clusterNets);
+        reports[i] = analyzeVictim(lib, *w.net, *w.driver, *w.firstLoad,
+                                   w.ranked, rc, opt.tstop, ropt);
+    });
+    return reports;
+}
+
+std::vector<NetNoiseReport> analyzeDesignReference(
+    const Design& design, const parser::SpefFile& spef,
+    const DesignNoiseOptions& opt) {
     std::vector<NetNoiseReport> reports;
     const cell::CellLibrary& lib = design.library();
 
@@ -60,8 +187,8 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
         const auto loads = design.loadsOf(netName);
         if (loads.empty()) continue;
 
-        // Keep the strongest-coupled aggressors that have drivers. Coupling
-        // caps may be listed under either net's section, so scan all.
+        // The pre-index cost model: coupling caps may be listed under either
+        // net's section, so every (victim, aggressor) pair rescans all nets.
         auto ownerOf = [](const std::string& node) {
             return node.substr(0, node.find(':'));
         };
@@ -83,8 +210,11 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
             }
             ranked.push_back({cc, agg});
         }
-        std::sort(ranked.begin(), ranked.end(),
-                  [](const auto& a, const auto& b) { return a.first > b.first; });
+        std::sort(ranked.begin(), ranked.end(), [](const auto& a,
+                                                   const auto& b) {
+            return a.first != b.first ? a.first > b.first
+                                      : a.second < b.second;
+        });
         if (ranked.size() > opt.maxAggressors) {
             ranked.resize(opt.maxAggressors);
         }
@@ -94,39 +224,17 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
         for (const auto& [cc, agg] : ranked) clusterNets.push_back(agg);
         const ic::RcNetwork rc = ic::rcFromSpef(spef, clusterNets);
 
-        NetNoiseReport report;
-        report.net = netName;
-
-        // Both victim holding levels are checked; the worse margin wins.
-        bool first = true;
-        for (const bool level : {false, true}) {
-            ClusterSpec spec;
-            spec.technology = &lib.technology();
-            spec.customNet = &rc;
-            spec.tstop = opt.tstop;
-            spec.victim.driverCell = driver->cellName;
-            spec.victim.outputLevel = level;
-            spec.victim.glitchInput =
-                lib.cell(driver->cellName).inputNames().front();
-            spec.victim.receiverCell = loads.front().first->cellName;
-            for (const auto& [cc, agg] : ranked) {
-                AggressorSpec as;
-                as.driverCell = design.driverOf(agg)->cellName;
-                // The damaging direction: aggressors switch away from the
-                // victim's held level.
-                as.outputRising = !level ? true : false;
-                report.aggressorNets.push_back(agg);
-                spec.aggressors.push_back(as);
-            }
-            auto cluster = analyzeCluster(spec, opt.report);
-            if (first || cluster.margin < report.cluster.margin) {
-                report.cluster = std::move(cluster);
-            }
-            first = false;
-            // aggressorNets were appended twice; trim after the 2nd pass.
+        std::vector<std::pair<std::string, std::string>> rankedAggressors;
+        for (const auto& [cc, agg] : ranked) {
+            rankedAggressors.push_back({design.driverOf(agg)->cellName, agg});
         }
-        report.aggressorNets.resize(ranked.size());
-        reports.push_back(std::move(report));
+        // Uncached, serial cluster analysis: every cluster re-characterizes.
+        ReportOptions ropt = opt.report;
+        ropt.macromodel.cache = nullptr;
+        reports.push_back(analyzeVictim(lib, netName, *driver,
+                                        *loads.front().first,
+                                        rankedAggressors, rc, opt.tstop,
+                                        ropt));
     }
     return reports;
 }

@@ -57,12 +57,31 @@ struct DesignNoiseOptions {
     double tstop = 2.5e-9;
     std::size_t maxAggressors = 3;  ///< strongest-coupled first
     ReportOptions report;
+    /// Worker threads for the victim-net loop; <= 1 runs serially. Report
+    /// order and numeric results are identical at any thread count.
+    int threads = 1;
+    /// Characterization cache shared across clusters. nullptr uses a fresh
+    /// per-run cache; pass one to share across runs or to read its stats.
+    charlib::CharCache* cache = nullptr;
 };
 
 /// Analyze every SPEF net that has coupling capacitance and a driver and at
 /// least one load in the design. Nets are reported in SPEF order.
+///
+/// The pipeline: a one-pass DesignIndex replaces the per-query instance and
+/// cap scans, a CharCache runs each characterization (load curve, Thevenin,
+/// NRC) once per distinct key instead of once per cluster, and independent
+/// victim clusters solve on `opt.threads` workers.
 std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                                           const parser::SpefFile& spef,
                                           const DesignNoiseOptions& opt = {});
+
+/// The pre-index brute-force sweep (linear instance scans per query, all-net
+/// cap scans per aggressor, full re-characterization per cluster, serial).
+/// Kept as the validation and benchmarking baseline: its reports must match
+/// analyzeDesign exactly. `opt.threads` and `opt.cache` are ignored.
+std::vector<NetNoiseReport> analyzeDesignReference(
+    const Design& design, const parser::SpefFile& spef,
+    const DesignNoiseOptions& opt = {});
 
 }  // namespace sna::core

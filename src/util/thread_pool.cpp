@@ -1,0 +1,88 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace sna::util {
+
+ThreadPool::ThreadPool(int threads) {
+    if (threads < 1) threads = 1;
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(std::function<void()> job) {
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        queue_.push(std::move(job));
+    }
+    wake_.notify_one();
+}
+
+void ThreadPool::wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stop_ and drained
+            job = std::move(queue_.front());
+            queue_.pop();
+            ++active_;
+        }
+        job();
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+            if (queue_.empty() && active_ == 0) idle_.notify_all();
+        }
+    }
+}
+
+void parallelFor(int threads, int n, const std::function<void(int)>& fn) {
+    if (n <= 0) return;
+    if (threads > n) threads = n;
+    if (threads <= 1) {
+        for (int i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    std::atomic<int> next{0};
+    std::exception_ptr firstError;
+    std::mutex errorMu;
+    auto worker = [&] {
+        for (;;) {
+            const int i = next.fetch_add(1);
+            if (i >= n) return;
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(errorMu);
+                if (!firstError) firstError = std::current_exception();
+            }
+        }
+    };
+
+    ThreadPool pool(threads);
+    for (int t = 0; t < threads; ++t) pool.run(worker);
+    pool.wait();
+    if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace sna::util

@@ -1,0 +1,57 @@
+// Minimal fixed-size thread pool for coarse-grained engine parallelism.
+//
+// The design-level noise flow runs one independent cluster solve per victim
+// net; ThreadPool::parallelFor fans those solves out over a fixed set of
+// workers while keeping result ordering deterministic (work item i always
+// writes slot i). The pool is intentionally small and blocking — noise
+// clusters are milliseconds-to-seconds of work each, so queue overhead is
+// irrelevant; what matters is exception safety and a clean join.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sna::util {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers; values < 1 are clamped to 1. A pool of
+    /// size 1 still runs jobs on its single worker thread.
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /// Enqueue one job. Jobs must not throw; wrap work that can throw (see
+    /// parallelFor, which captures the first exception and rethrows it).
+    void run(std::function<void()> job);
+
+    /// Block until every queued and running job has finished.
+    void wait();
+
+private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable wake_;   // workers: queue non-empty or stopping
+    std::condition_variable idle_;   // waiters: everything drained
+    int active_ = 0;
+    bool stop_ = false;
+};
+
+/// Run fn(i) for every i in [0, n). With threads <= 1 the loop runs inline
+/// on the calling thread (no pool is created); otherwise min(threads, n)
+/// workers pull indices in order. The first exception thrown by any fn(i)
+/// is rethrown on the calling thread after all workers settle.
+void parallelFor(int threads, int n, const std::function<void(int)>& fn);
+
+}  // namespace sna::util
