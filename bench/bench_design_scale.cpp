@@ -5,11 +5,18 @@
 // connects a gate-level design to them, and times end-to-end analyzeDesign:
 //   * reference: the pre-index brute-force sweep (linear instance scans,
 //     all-net cap scans, full per-cluster re-characterization, serial);
-//   * optimized: DesignIndex + shared CharCache, at 1 and 4 threads.
-// Margins are cross-checked within 1e-9 between every path. Emits one JSON
-// object (for the bench trajectory) after the human-readable table.
+//   * optimized: DesignIndex + shared CharCache, at 1 and 4 threads;
+//   * propagate: the same parasitics wired as `--chains` parallel chains of
+//     depth N/chains (deep levels), analyzed with the levelized wavefront
+//     and stage-to-stage glitch propagation, at 1 and 4 threads. The t=1
+//     and t=4 wavefront margins are cross-checked bitwise, and the count of
+//     combined-only failures (nets the flat local-only sweep passes but the
+//     propagated verdict fails) is reported.
+// Margins are cross-checked within 1e-9 between every flat path. Emits one
+// JSON object (for the bench trajectory) after the human-readable table.
 //
 // Run:  ./build/bench_design_scale [--nets 50,200,800] [--reference-max 200]
+//                                  [--chains 4]
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -18,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/design_index.hpp"
 #include "core/sna.hpp"
 #include "interconnect/parallel_bus.hpp"
 #include "util/table.hpp"
@@ -28,20 +36,31 @@ using namespace sna;
 
 // Ring design: net i is driven by d<i>, loaded by r<i>, and coupled to nets
 // i-1 and i+1 through mid-node caps with distinct values (no rank ties).
-std::string syntheticSpef(int nets) {
+// `quietEvery` > 0 leaves every quietEvery-th net without any coupling cap
+// (to either neighbour): those nets are not victim clusters, so with
+// propagation on they exercise the pass-through propagation-table path.
+std::string syntheticSpef(int nets, double ccScale = 1.0,
+                          int quietEvery = 0) {
+    const auto quiet = [quietEvery](int i) {
+        return quietEvery > 0 && i % quietEvery == quietEvery - 1;
+    };
     std::ostringstream os;
     os << "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"scale_" << nets << "\"\n";
     os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n\n";
     for (int i = 0; i < nets; ++i) {
         const int j = (i + 1) % nets;
-        const double cc = 8.0 + (i % 11);  // fF, to the right-hand neighbour
-        os << "*D_NET n" << i << " " << (6.5 + cc) << "\n";
+        // fF, to the right-hand neighbour
+        const double cc = (8.0 + (i % 11)) * ccScale;
+        const bool couple = !quiet(i) && !quiet(j);
+        os << "*D_NET n" << i << " " << (6.5 + (couple ? cc : 0.0)) << "\n";
         os << "*CONN\n*I d" << i << ":y O\n*I r" << i << ":a I\n";
         os << "*CAP\n";
         os << "1 d" << i << ":y 2.0\n";
         os << "2 n" << i << ":1 3.0\n";
         os << "3 r" << i << ":a 1.5\n";
-        os << "4 n" << i << ":1 n" << j << ":1 " << cc << "\n";
+        if (couple) {
+            os << "4 n" << i << ":1 n" << j << ":1 " << cc << "\n";
+        }
         os << "*RES\n";
         os << "1 d" << i << ":y n" << i << ":1 40\n";
         os << "2 n" << i << ":1 r" << i << ":a 40\n";
@@ -65,6 +84,35 @@ void buildDesign(core::Design& design, int nets) {
              {{"a", "pi" + n}, {"y", "n" + n}});
         inst("r" + n, (i % 2 == 0) ? "INV_X2" : "INV_X1",
              {{"a", "n" + n}, {"y", "po" + n}});
+    }
+}
+
+// Chained variant of the same parasitics: the N ring-coupled nets become
+// `chains` parallel chains of depth N/chains (g_i: n_{i-1} -> n_i), so the
+// levelized wavefront is deep and each level holds ~`chains` victims.
+void buildChainedDesign(core::Design& design, int nets, int chains) {
+    auto inst = [&](const std::string& name, const std::string& cellName,
+                    std::map<std::string, std::string> pins) {
+        core::Instance in;
+        in.name = name;
+        in.cellName = cellName;
+        in.pinToNet = std::move(pins);
+        design.addInstance(std::move(in));
+    };
+    // Uniformly weak chain drivers: glitches survive the stages instead of
+    // being swallowed at the first strong inverter, so the propagated
+    // verdicts differ visibly from the local-only ones.
+    const int depth = (nets + chains - 1) / chains;
+    for (int i = 0; i < nets; ++i) {
+        const std::string n = std::to_string(i);
+        const int pos = i % depth;
+        const std::string prev =
+            pos == 0 ? "pi" + std::to_string(i / depth)
+                     : "n" + std::to_string(i - 1);
+        inst("g" + n, "INV_X1", {{"a", prev}, {"y", "n" + n}});
+        if (pos == depth - 1 || i == nets - 1) {
+            inst("snk" + n, "INV_X2", {{"a", "n" + n}, {"y", "po" + n}});
+        }
     }
 }
 
@@ -97,6 +145,14 @@ struct Row {
     std::size_t reports = 0;
     std::size_t loadCurveRuns = 0;
     std::size_t nrcRuns = 0;
+    // Propagation-enabled chained variant.
+    double prop1Sec = 0.0;
+    double prop4Sec = 0.0;
+    double propMarginDiff = 0.0;  ///< t=1 vs t=4 wavefront, must be 0
+    std::size_t levels = 0;
+    std::size_t propagationRuns = 0;
+    std::size_t combinedOnlyFails = 0;  ///< fails only with propagation
+    double maxMarginDrop = 0.0;  ///< worst local-minus-combined margin, V
 };
 
 }  // namespace
@@ -104,6 +160,7 @@ struct Row {
 int main(int argc, char** argv) {
     std::vector<int> sizes{50, 200, 800};
     int referenceMax = 200;  // brute force is super-quadratic; cap it
+    int chains = 4;
     try {
         for (int i = 1; i < argc; ++i) {
             if (std::strcmp(argv[i], "--nets") == 0 && i + 1 < argc) {
@@ -116,10 +173,17 @@ int main(int argc, char** argv) {
             } else if (std::strcmp(argv[i], "--reference-max") == 0 &&
                        i + 1 < argc) {
                 referenceMax = std::stoi(argv[++i]);
+            } else if (std::strcmp(argv[i], "--chains") == 0 &&
+                       i + 1 < argc) {
+                chains = std::stoi(argv[++i]);
+                if (chains < 1) {
+                    std::fprintf(stderr, "--chains must be >= 1\n");
+                    return 1;
+                }
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--nets N1,N2,...] "
-                             "[--reference-max N]\n",
+                             "[--reference-max N] [--chains K]\n",
                              argv[0]);
                 return 1;
             }
@@ -171,6 +235,45 @@ int main(int argc, char** argv) {
             row.marginDiff =
                 std::max(row.marginDiff, maxMarginDiff(opt1, ref));
         }
+
+        // ---- propagation-enabled chained variant -------------------------
+        // An aggressive-coupling corner (2.2x the flat variant's caps): weak
+        // chain drivers under heavy coupling, so upstream glitches are large
+        // enough that the combined verdicts diverge from local-only. Every
+        // 4th net is left uncoupled: a quiet pass-through stage that carries
+        // noise via the cached propagation tables.
+        const auto chainSpef = parser::parseSpef(syntheticSpef(n, 2.2, 4));
+        core::Design chained(lib);
+        buildChainedDesign(chained, n, chains);
+        row.levels =
+            core::DesignIndex(chained, chainSpef).levels().levels.size();
+
+        core::DesignNoiseOptions popt = opt;
+        popt.propagate = true;
+        charlib::CharCache pcache1;
+        popt.cache = &pcache1;
+        popt.threads = 1;
+        t0 = std::chrono::steady_clock::now();
+        const auto prop1 = core::analyzeDesign(chained, chainSpef, popt);
+        row.prop1Sec = seconds(t0);
+        row.propagationRuns = pcache1.stats().propagationRuns;
+        for (const auto& r : prop1) {
+            if (r.cluster.fails && !r.propagated.localFails) {
+                ++row.combinedOnlyFails;
+            }
+            row.maxMarginDrop =
+                std::max(row.maxMarginDrop,
+                         r.propagated.localMargin - r.cluster.margin);
+        }
+
+        charlib::CharCache pcache4;
+        popt.cache = &pcache4;
+        popt.threads = 4;
+        t0 = std::chrono::steady_clock::now();
+        const auto prop4 = core::analyzeDesign(chained, chainSpef, popt);
+        row.prop4Sec = seconds(t0);
+        row.propMarginDiff = maxMarginDiff(prop1, prop4);
+
         rows.push_back(row);
         std::fprintf(stderr, "done %d nets\n", n);
     }
@@ -191,6 +294,22 @@ int main(int argc, char** argv) {
     std::printf("Design-scale noise analysis throughput\n\n%s\n",
                 table.str().c_str());
 
+    util::Table ptable({"Nets", "Levels", "Prop t=1 (s)", "Prop t=4 (s)",
+                        "Max |dMargin| t1 vs t4 (V)", "Prop-table runs",
+                        "Max margin drop (V)", "Combined-only fails"});
+    for (const auto& r : rows) {
+        ptable.addRow({std::to_string(r.nets), std::to_string(r.levels),
+                       util::Table::num(r.prop1Sec, 2),
+                       util::Table::num(r.prop4Sec, 2),
+                       util::Table::num(r.propMarginDiff, 12),
+                       std::to_string(r.propagationRuns),
+                       util::Table::num(r.maxMarginDrop, 3),
+                       std::to_string(r.combinedOnlyFails)});
+    }
+    std::printf(
+        "Propagated-noise wavefront (chained design, %d chains)\n\n%s\n",
+        chains, ptable.str().c_str());
+
     std::printf("{\"bench\": \"design_scale\", \"rows\": [");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& r = rows[i];
@@ -205,11 +324,16 @@ int main(int argc, char** argv) {
             "%s{\"nets\": %d, \"reports\": %zu, \"reference_sec\": %s, "
             "\"optimized_t1_sec\": %.4f, \"optimized_t4_sec\": %.4f, "
             "\"speedup\": %s, \"max_margin_diff\": %.3e, "
-            "\"load_curve_runs\": %zu, \"nrc_runs\": %zu}",
+            "\"load_curve_runs\": %zu, \"nrc_runs\": %zu, "
+            "\"levels\": %zu, \"propagate_t1_sec\": %.4f, "
+            "\"propagate_t4_sec\": %.4f, \"propagate_margin_diff\": %.3e, "
+            "\"propagation_runs\": %zu, \"max_margin_drop\": %.4f, "
+            "\"combined_only_fails\": %zu}",
             i == 0 ? "" : ", ", r.nets, r.reports, refStr.c_str(), r.opt1Sec,
             r.opt4Sec, speedupStr.c_str(), r.marginDiff, r.loadCurveRuns,
-            r.nrcRuns);
+            r.nrcRuns, r.levels, r.prop1Sec, r.prop4Sec, r.propMarginDiff,
+            r.propagationRuns, r.maxMarginDrop, r.combinedOnlyFails);
     }
-    std::printf("]}\n");
+    std::printf("], \"chains\": %d}\n", chains);
     return 0;
 }

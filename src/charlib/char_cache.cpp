@@ -71,6 +71,18 @@ std::string keyOf(const TheveninSpec& s) {
     return os.str();
 }
 
+std::string keyOf(const PropagationSpec& s) {
+    SNA_REQUIRE(s.cell != nullptr, "propagation spec needs a cell");
+    std::ostringstream os;
+    putTech(os, *s.cell);
+    os << s.cell->name() << '/' << s.input << '/' << s.outputLevel;
+    putDouble(os, s.loadCap);
+    for (const double h : s.heights) putDouble(os, h);
+    os << '/';
+    for (const double w : s.widths) putDouble(os, w);
+    return os.str();
+}
+
 std::string keyOf(const NrcSpec& s) {
     SNA_REQUIRE(s.cell != nullptr, "NRC spec needs a cell");
     std::ostringstream os;
@@ -138,6 +150,12 @@ std::shared_ptr<const la::Grid1d> CharCache::nrc(const NrcSpec& spec) {
                         [&] { return characterizeNrc(spec); });
 }
 
+std::shared_ptr<const PropagationTable> CharCache::propagation(
+    const PropagationSpec& spec) {
+    return getOrCompute(propagations_, keyOf(spec),
+                        [&] { return characterizePropagation(spec); });
+}
+
 CharCache::Stats CharCache::stats() const {
     const std::lock_guard<std::mutex> lock(mu_);
     Stats s;
@@ -147,6 +165,8 @@ CharCache::Stats CharCache::stats() const {
     s.theveninHits = thevenins_.hits;
     s.nrcRuns = nrcs_.runs;
     s.nrcHits = nrcs_.hits;
+    s.propagationRuns = propagations_.runs;
+    s.propagationHits = propagations_.hits;
     return s;
 }
 
@@ -160,6 +180,7 @@ void CharCache::clear() {
     reset(loadCurves_);
     reset(thevenins_);
     reset(nrcs_);
+    reset(propagations_);
 }
 
 }  // namespace sna::charlib

@@ -40,6 +40,12 @@ public:
     /// Noise rejection curve for the spec; characterizes on first use.
     std::shared_ptr<const la::Grid1d> nrc(const NrcSpec& spec);
 
+    /// Noise-propagation table for the spec; characterizes on first use.
+    /// The wavefront pipeline keys these on a canonical load per cell, so
+    /// each (cell, input, level) is characterized exactly once per run.
+    std::shared_ptr<const PropagationTable> propagation(
+        const PropagationSpec& spec);
+
     struct Stats {
         std::size_t loadCurveRuns = 0;  ///< actual DC-sweep characterizations
         std::size_t loadCurveHits = 0;
@@ -47,6 +53,8 @@ public:
         std::size_t theveninHits = 0;
         std::size_t nrcRuns = 0;
         std::size_t nrcHits = 0;
+        std::size_t propagationRuns = 0;
+        std::size_t propagationHits = 0;
     };
     Stats stats() const;
 
@@ -74,6 +82,9 @@ private:
     Table<la::Grid2d> loadCurves_;
     Table<TheveninModel> thevenins_{{}, 0, 0, 4096};
     Table<la::Grid1d> nrcs_;
+    /// Bounded like thevenins_: ClusterMacromodel keys embed the bitwise
+    /// cluster load cap, which never repeats on real extracted parasitics.
+    Table<PropagationTable> propagations_{{}, 0, 0, 4096};
 };
 
 }  // namespace sna::charlib

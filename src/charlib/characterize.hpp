@@ -97,6 +97,12 @@ struct PropagationSpec {
 
 PropagationTable characterizePropagation(const PropagationSpec& spec);
 
+/// The canonical propagation grid the design flow characterizes on (shared
+/// by the macromodel's lazy table and the wavefront's cached tables, so one
+/// cache entry serves both when the load matches).
+std::vector<double> canonicalPropagationHeights(double vdd);
+std::vector<double> canonicalPropagationWidths();
+
 // -------------------------------------------------------------------- nrc
 
 struct NrcSpec {

@@ -6,6 +6,15 @@
 
 namespace sna::charlib {
 
+std::vector<double> canonicalPropagationHeights(double vdd) {
+    return {0.1 * vdd, 0.25 * vdd, 0.4 * vdd, 0.55 * vdd,
+            0.7 * vdd, 0.85 * vdd, 1.0 * vdd};
+}
+
+std::vector<double> canonicalPropagationWidths() {
+    return {60e-12, 120e-12, 240e-12, 480e-12, 960e-12};
+}
+
 PropagationTable characterizePropagation(const PropagationSpec& spec) {
     SNA_REQUIRE(spec.cell != nullptr, "propagation spec needs a cell");
     SNA_REQUIRE(spec.heights.size() >= 2 && spec.widths.size() >= 2,

@@ -1,5 +1,10 @@
 #include "core/design_index.hpp"
 
+#include <algorithm>
+#include <set>
+
+#include "util/log.hpp"
+
 namespace sna::core {
 
 namespace {
@@ -10,7 +15,8 @@ std::string ownerOf(const std::string& node) {
 
 }  // namespace
 
-DesignIndex::DesignIndex(const Design& design, const parser::SpefFile& spef) {
+DesignIndex::DesignIndex(const Design& design, const parser::SpefFile& spef)
+    : design_(&design) {
     const cell::CellLibrary& lib = design.library();
 
     // One pass over the instances: pin roles come from the cell definition.
@@ -42,6 +48,144 @@ DesignIndex::DesignIndex(const Design& design, const parser::SpefFile& spef) {
     }
 }
 
+void DesignIndex::buildGraph() const {
+    // The through-instance edges of the design graph. Only the net's actual
+    // driver carries noise onto it, so edges are restricted to driver
+    // instances (first-wins on multiply-driven nets).
+    const cell::CellLibrary& lib = design_->library();
+    for (const auto& inst : design_->instances()) {
+        const cell::Cell& c = lib.cell(inst.cellName);
+        const auto out = inst.pinToNet.find(c.outputName());
+        if (out == inst.pinToNet.end() || driverOf(out->second) != &inst) {
+            continue;
+        }
+        for (const auto& in : c.inputNames()) {
+            const auto it = inst.pinToNet.find(in);
+            if (it != inst.pinToNet.end()) {
+                faninByNet_[out->second].push_back({it->second, &inst, in});
+                fanoutByNet_[it->second].push_back(out->second);
+            }
+        }
+    }
+    for (auto& [net, edges] : faninByNet_) {
+        std::sort(edges.begin(), edges.end(),
+                  [](const FaninEdge& a, const FaninEdge& b) {
+                      if (a.fromNet != b.fromNet) return a.fromNet < b.fromNet;
+                      if (a.inst->name != b.inst->name) {
+                          return a.inst->name < b.inst->name;
+                      }
+                      return a.pin < b.pin;
+                  });
+    }
+    for (auto& [net, outs] : fanoutByNet_) {
+        std::sort(outs.begin(), outs.end());
+        outs.erase(std::unique(outs.begin(), outs.end()), outs.end());
+    }
+    // Nodes: every net on an instance pin. Unique edges A -> B (self-loops
+    // are cycles of length one: recorded as broken, never scheduled).
+    std::set<std::string> remaining;
+    std::map<std::string, std::set<std::string>> outAdj;
+    std::map<std::string, std::set<std::string>> inAdj;
+    std::map<std::string, int> indeg;
+    for (const auto& [net, loads] : loadsByNet_) remaining.insert(net);
+    for (const auto& [net, inst] : driverByNet_) remaining.insert(net);
+    for (const auto& n : remaining) indeg[n] = 0;
+    for (const auto& [net, edges] : faninByNet_) {
+        for (const auto& e : edges) {
+            if (e.fromNet == net) {
+                levels_.brokenEdges.push_back({e.fromNet, net});
+                continue;
+            }
+            if (outAdj[e.fromNet].insert(net).second) {
+                inAdj[net].insert(e.fromNet);
+                ++indeg[net];
+            }
+        }
+    }
+
+    // Ready-queue Kahn, O((V + E) log V): each wave is the set of nets
+    // whose indegree hit zero while the previous wave relaxed, so deep
+    // chains (levels ~ nets) don't degenerate into a per-level full rescan.
+    std::vector<std::string> wave;
+    for (const auto& n : remaining) {
+        if (indeg[n] == 0) wave.push_back(n);  // set order: name-sorted
+    }
+    while (!remaining.empty()) {
+        if (wave.empty()) {
+            // Combinational cycle somewhere in the residual graph. A
+            // stalled net may merely sit downstream of a cycle, so find an
+            // actual cycle first: walk predecessor links (every stalled net
+            // has a remaining unbroken in-edge, so the walk must revisit a
+            // node), then break exactly one true cycle edge — the one into
+            // the cycle's lexicographically smallest net. One edge per
+            // stall keeps the breakage minimal and, with the smallest-net /
+            // smallest-predecessor walk order, deterministic for any
+            // instance insertion order with the same connectivity.
+            std::vector<std::string> path;
+            std::map<std::string, std::size_t> seen;
+            std::string cur = *remaining.begin();
+            while (seen.find(cur) == seen.end()) {
+                seen.emplace(cur, path.size());
+                path.push_back(cur);
+                const std::string* next = nullptr;
+                for (const auto& p : inAdj[cur]) {  // set order: smallest
+                    if (remaining.count(p)) {
+                        next = &p;
+                        break;
+                    }
+                }
+                cur = *next;  // stalled => a remaining predecessor exists
+            }
+            // Cycle nodes: path[s..back], edges path[k] -> path[k-1] for
+            // k in (s, back] plus the closing edge path[s] -> path[back].
+            const std::size_t s = seen[cur];
+            std::size_t smallest = s;
+            for (std::size_t j = s + 1; j < path.size(); ++j) {
+                if (path[j] < path[smallest]) smallest = j;
+            }
+            const std::string& victim = path[smallest];
+            const std::string& pred = smallest == path.size() - 1
+                                          ? path[s]
+                                          : path[smallest + 1];
+            outAdj[pred].erase(victim);
+            inAdj[victim].erase(pred);
+            levels_.brokenEdges.push_back({pred, victim});
+            if (--indeg[victim] == 0) wave.push_back(victim);
+            if (wave.empty()) continue;  // more cycles: break another edge
+        }
+        std::sort(wave.begin(), wave.end());
+        wave.erase(std::unique(wave.begin(), wave.end()), wave.end());
+        const int level = static_cast<int>(levels_.levels.size());
+        for (const auto& n : wave) {
+            levels_.levelOf[n] = level;
+            remaining.erase(n);
+        }
+        std::vector<std::string> next;
+        for (const auto& n : wave) {
+            const auto it = outAdj.find(n);
+            if (it == outAdj.end()) continue;
+            for (const auto& to : it->second) {
+                if (remaining.count(to) && --indeg[to] == 0) {
+                    next.push_back(to);
+                }
+            }
+        }
+        levels_.levels.push_back(std::move(wave));
+        wave = std::move(next);
+    }
+    std::sort(levels_.brokenEdges.begin(), levels_.brokenEdges.end());
+    levels_.brokenEdges.erase(
+        std::unique(levels_.brokenEdges.begin(), levels_.brokenEdges.end()),
+        levels_.brokenEdges.end());
+    if (!levels_.brokenEdges.empty()) {
+        log::warn() << "design graph has combinational cycles: "
+                    << levels_.brokenEdges.size()
+                    << " edge(s) broken for levelization (first: "
+                    << levels_.brokenEdges.front().first << " -> "
+                    << levels_.brokenEdges.front().second << ")";
+    }
+}
+
 const Instance* DesignIndex::driverOf(const std::string& net) const {
     const auto it = driverByNet_.find(net);
     return it == driverByNet_.end() ? nullptr : it->second;
@@ -59,6 +203,27 @@ const std::map<std::string, double>& DesignIndex::couplingOf(
     static const std::map<std::string, double> kEmpty;
     const auto it = couplingByNet_.find(net);
     return it == couplingByNet_.end() ? kEmpty : it->second;
+}
+
+const std::vector<FaninEdge>& DesignIndex::faninOf(
+    const std::string& net) const {
+    static const std::vector<FaninEdge> kEmpty;
+    ensureGraph();
+    const auto it = faninByNet_.find(net);
+    return it == faninByNet_.end() ? kEmpty : it->second;
+}
+
+const std::vector<std::string>& DesignIndex::fanoutOf(
+    const std::string& net) const {
+    static const std::vector<std::string> kEmpty;
+    ensureGraph();
+    const auto it = fanoutByNet_.find(net);
+    return it == fanoutByNet_.end() ? kEmpty : it->second;
+}
+
+const NetLevels& DesignIndex::levels() const {
+    ensureGraph();
+    return levels_;
 }
 
 }  // namespace sna::core

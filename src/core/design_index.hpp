@@ -10,9 +10,22 @@
 //   * net -> (instance, input pin) loads,
 //   * net -> {coupled net -> summed coupling cap}, symmetric regardless of
 //     which section listed the cap.
+//
+// On top of the connectivity maps the index builds (lazily) the levelized
+// design graph the propagated-noise wavefront needs: nets are nodes, and an
+// edge A -> B exists when an instance has an input pin on A and its output
+// pin on B (noise on A can travel through that instance onto B). Kahn wave
+// levelization assigns level(B) = 1 + max(level(A)) over the fanin;
+// combinational cycles are detected and broken deterministically: a
+// predecessor walk from the smallest stalled net finds a true cycle and
+// discards exactly one edge — the one into the cycle's lexicographically
+// smallest member — per stall (recorded in brokenEdges), so acyclic nets
+// merely stalled behind a cycle keep their fanin and the schedule is
+// reproducible regardless of instance insertion order or thread count.
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -22,6 +35,25 @@
 #include "parser/spef_parser.hpp"
 
 namespace sna::core {
+
+/// One through-instance edge of the design graph: noise on `fromNet` arrives
+/// at `inst`'s input `pin` and can propagate to the instance's output net.
+struct FaninEdge {
+    std::string fromNet;
+    const Instance* inst = nullptr;
+    std::string pin;
+};
+
+/// The levelized net graph (Kahn waves over the driver->fanout edges).
+struct NetLevels {
+    /// level -> net names, each level sorted by name; every net that touches
+    /// an instance pin appears in exactly one level.
+    std::vector<std::vector<std::string>> levels;
+    std::unordered_map<std::string, int> levelOf;
+    /// Fanin edges discarded to break combinational cycles, as
+    /// (fromNet, toNet) sorted pairs; empty on a DAG.
+    std::vector<std::pair<std::string, std::string>> brokenEdges;
+};
 
 class DesignIndex {
 public:
@@ -41,13 +73,37 @@ public:
     const std::map<std::string, double>& couplingOf(
         const std::string& net) const;
 
+    /// Fanin edges of `net`: every (upstream net, instance, input pin)
+    /// through which noise can reach `net`'s driver. Sorted by (fromNet,
+    /// instance name, pin) for deterministic worst-incoming selection.
+    const std::vector<FaninEdge>& faninOf(const std::string& net) const;
+
+    /// Nets reachable from `net` through one instance (its loads' output
+    /// nets), sorted and deduplicated.
+    const std::vector<std::string>& fanoutOf(const std::string& net) const;
+
+    /// The levelized design graph. Built lazily (thread-safe) on the first
+    /// graph query — the flat propagate=false sweep never pays for it.
+    const NetLevels& levels() const;
+
 private:
+    /// Builds fanin/fanout edges and the levelization; called once.
+    void buildGraph() const;
+    void ensureGraph() const { std::call_once(graphOnce_, [this] { buildGraph(); }); }
+
+    const Design* design_ = nullptr;  ///< not owned; must outlive the index
     std::unordered_map<std::string, const Instance*> driverByNet_;
     std::unordered_map<std::string,
                        std::vector<std::pair<const Instance*, std::string>>>
         loadsByNet_;
     std::unordered_map<std::string, std::map<std::string, double>>
         couplingByNet_;
+    mutable std::once_flag graphOnce_;
+    mutable std::unordered_map<std::string, std::vector<FaninEdge>>
+        faninByNet_;
+    mutable std::unordered_map<std::string, std::vector<std::string>>
+        fanoutByNet_;
+    mutable NetLevels levels_;
 };
 
 }  // namespace sna::core

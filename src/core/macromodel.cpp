@@ -95,7 +95,7 @@ const mor::CoupledPiModel& ClusterMacromodel::reducedPi() const {
 }
 
 const charlib::PropagationTable& ClusterMacromodel::propagationTable() const {
-    if (!propagation_.has_value()) {
+    if (propagation_ == nullptr) {
         const cell::CellLibrary& lib = cell::sharedLibrary(*spec_.technology);
         charlib::PropagationSpec ps;
         ps.cell = &lib.cell(spec_.victim.driverCell);
@@ -107,10 +107,12 @@ const charlib::PropagationTable& ClusterMacromodel::propagationTable() const {
         }
         ps.loadCap = net_.totalGroundCapOf(0) + coupling + rxCaps_[0];
         const double vdd = spec_.technology->vdd;
-        ps.heights = {0.1 * vdd, 0.25 * vdd, 0.4 * vdd, 0.55 * vdd,
-                      0.7 * vdd, 0.85 * vdd, 1.0 * vdd};
-        ps.widths = {60e-12, 120e-12, 240e-12, 480e-12, 960e-12};
-        propagation_ = charlib::characterizePropagation(ps);
+        ps.heights = charlib::canonicalPropagationHeights(vdd);
+        ps.widths = charlib::canonicalPropagationWidths();
+        propagation_ = opt_.cache
+                           ? opt_.cache->propagation(ps)
+                           : std::make_shared<const charlib::PropagationTable>(
+                                 charlib::characterizePropagation(ps));
     }
     return *propagation_;
 }

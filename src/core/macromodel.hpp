@@ -95,7 +95,8 @@ private:
     std::vector<int> primaPorts_;  // network node per port (drv then rcv)
     std::vector<double> rxCaps_;
     std::vector<double> drvCaps_;
-    mutable std::optional<charlib::PropagationTable> propagation_;
+    /// Shared with the cache on a hit (immutable); owned otherwise.
+    mutable std::shared_ptr<const charlib::PropagationTable> propagation_;
 };
 
 }  // namespace sna::core

@@ -1,0 +1,177 @@
+#include "core/propagate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sna::core {
+
+namespace {
+
+/// A dominates B when it is at least as tall AND at least as wide (the NRC
+/// is non-increasing in width, so A is at least as damaging everywhere).
+/// Works on any type exposing .height/.width.
+template <typename A, typename B>
+bool dominates(const A& a, const B& b) {
+    return a.height >= b.height && a.width >= b.width;
+}
+
+/// Cap an already-sorted front at kMaxSurviving, keeping the extremes
+/// (first and last entries) and an even spread between.
+template <typename T>
+void capFront(std::vector<T>& front) {
+    if (front.size() <= kMaxSurviving) return;
+    std::vector<T> kept;
+    const std::size_t n = front.size();
+    for (std::size_t k = 0; k < kMaxSurviving; ++k) {
+        kept.push_back(front[k * (n - 1) / (kMaxSurviving - 1)]);
+    }
+    front = std::move(kept);
+}
+
+}  // namespace
+
+void mergeSurviving(SurvivingSet& set, const SurvivingGlitch& g) {
+    for (const auto& s : set) {
+        if (dominates(s, g)) return;
+    }
+    set.erase(std::remove_if(set.begin(), set.end(),
+                             [&g](const SurvivingGlitch& s) {
+                                 return dominates(g, s);
+                             }),
+              set.end());
+    set.push_back(g);
+    // Height descending; on a Pareto front this makes width ascending.
+    std::sort(set.begin(), set.end(),
+              [](const SurvivingGlitch& a, const SurvivingGlitch& b) {
+                  if (a.height != b.height) return a.height > b.height;
+                  return a.width > b.width;
+              });
+    capFront(set);
+}
+
+std::vector<IncomingGlitch> selectIncoming(
+    const DesignIndex& index, const std::string& net,
+    const std::unordered_map<std::string, SurvivingSet>& surviving) {
+    // Gather every (edge, glitch) candidate, then keep the Pareto front.
+    std::vector<IncomingGlitch> cands;
+    for (const auto& edge : index.faninOf(net)) {
+        const auto it = surviving.find(edge.fromNet);
+        if (it == surviving.end()) continue;
+        for (const auto& sg : it->second) {
+            IncomingGlitch in;
+            in.height = sg.height;
+            in.width = sg.width;
+            in.fromNet = edge.fromNet;
+            in.inputPin = edge.pin;
+            cands.push_back(std::move(in));
+        }
+    }
+    std::vector<IncomingGlitch> front;
+    for (const auto& c : cands) {
+        const bool dominated = std::any_of(
+            cands.begin(), cands.end(), [&c](const IncomingGlitch& o) {
+                // Strict domination, so equal glitches keep exactly the
+                // first edge in fanin order (see the duplicate filter).
+                return dominates(o, c) &&
+                       (o.height > c.height || o.width > c.width);
+            });
+        if (dominated) continue;
+        const bool duplicate = std::any_of(
+            front.begin(), front.end(), [&c](const IncomingGlitch& o) {
+                return o.height == c.height && o.width == c.width;
+            });
+        if (!duplicate) front.push_back(c);
+    }
+    // mergeSurviving's ordering plus edge-label tie-breaks for determinism.
+    std::sort(front.begin(), front.end(),
+              [](const IncomingGlitch& a, const IncomingGlitch& b) {
+                  if (a.height != b.height) return a.height > b.height;
+                  if (a.width != b.width) return a.width > b.width;
+                  if (a.fromNet != b.fromNet) return a.fromNet < b.fromNet;
+                  return a.inputPin < b.inputPin;
+              });
+    capFront(front);
+    return front;
+}
+
+SurvivingGlitch propagateThroughDriver(const cell::Cell& cell,
+                                       const std::string& pin,
+                                       const IncomingGlitch& incoming,
+                                       charlib::CharCache* cache) {
+    const double vdd = cell.technology().vdd;
+    const double base = 2.0 * incoming.width;  // triangle base of the glitch
+    // Below the table's smallest characterized height or width, Grid2d::eval
+    // would clamp UP to the border and hand a 1 mV (or 10 ps) glitch the
+    // transfer of a 0.1*vdd (or 60 ps) one — a phantom that would never
+    // decay along a quiet chain. Evaluate the border and scale linearly
+    // instead: near the holding point a restoring CMOS stage is
+    // small-signal linear in height, and a sub-grid-width pulse is in the
+    // energy-limited regime where the output peak tracks the input area
+    // (hence ~linearly, width at fixed height).
+    const double hMin = charlib::canonicalPropagationHeights(vdd).front();
+    const double wMin = charlib::canonicalPropagationWidths().front();
+    const double evalHeight = std::max(incoming.height, hMin);
+    const double evalBase = std::max(base, wMin);
+    double scale = 1.0;
+    if (incoming.height < hMin) scale *= incoming.height / hMin;
+    if (base < wMin) scale *= base / wMin;
+
+    SurvivingGlitch worst;
+    // The quiet output level of a pass-through net is state-dependent;
+    // evaluate both holding levels and keep the worse transfer (larger
+    // area, taller on ties); the caller's Pareto merge keeps incomparable
+    // outputs from other candidates alongside.
+    for (const bool level : {false, true}) {
+        charlib::PropagationSpec ps;
+        ps.cell = &cell;
+        ps.input = pin;
+        ps.outputLevel = level;
+        ps.loadCap = kPropagationLoadCap;
+        ps.heights = charlib::canonicalPropagationHeights(vdd);
+        ps.widths = charlib::canonicalPropagationWidths();
+        std::shared_ptr<const charlib::PropagationTable> table;
+        if (evalBase > ps.widths.back()) {
+            // Wider than the canonical grid: clamping would read the
+            // transfer of a narrower glitch, which is optimistic (wide
+            // glitches are closer to DC and propagate more strongly).
+            // Characterize the actual width instead, on just the two
+            // heights bracketing the evaluation point (4 transients, not
+            // the full grid) — uncached, since keys would embed the bitwise
+            // width (same policy as the NRC's wide-glitch fallback).
+            std::size_t i = 0;
+            while (i + 2 < ps.heights.size() &&
+                   ps.heights[i + 1] <= evalHeight) {
+                ++i;
+            }
+            const double h0 = ps.heights[i];
+            const double h1 = ps.heights[i + 1];
+            ps.heights = {h0, h1};
+            ps.widths = {0.5 * evalBase, evalBase};
+            table = std::make_shared<const charlib::PropagationTable>(
+                charlib::characterizePropagation(ps));
+        } else {
+            table = cache
+                        ? cache->propagation(ps)
+                        : std::make_shared<const charlib::PropagationTable>(
+                              charlib::characterizePropagation(ps));
+        }
+        const double peak = scale * table->peak(evalHeight, evalBase);
+        const double area = scale * table->area(evalHeight, evalBase);
+        if (std::abs(peak) <= 1e-9) continue;
+        SurvivingGlitch sg;
+        sg.height = std::abs(peak);
+        // A triangle of peak p and area A has 50% width A / p; fall back to
+        // the incoming width when the area is degenerate.
+        sg.width = std::abs(area) > 0.0 ? std::abs(area / peak)
+                                        : incoming.width;
+        const double sgArea = sg.height * sg.width;
+        const double worstArea = worst.height * worst.width;
+        if (sgArea > worstArea ||
+            (sgArea == worstArea && sg.height > worst.height)) {
+            worst = sg;
+        }
+    }
+    return worst;
+}
+
+}  // namespace sna::core

@@ -7,50 +7,74 @@
 
 namespace sna::core {
 
+std::vector<double> NrcOptions::grid() const {
+    SNA_REQUIRE(widthMin > 0.0 && widthLimit > widthMin,
+                "NRC width grid needs 0 < widthMin < widthLimit");
+    SNA_REQUIRE(growth > 1.0, "NRC width grid growth must be > 1");
+    std::vector<double> grid;
+    for (double p = widthMin; p < widthLimit; p *= growth) {
+        grid.push_back(p);
+    }
+    return grid;
+}
+
+namespace {
+
+/// Bisect the receiver at exactly width `w` (bracketed so the curve is
+/// exact at its own nodes). Uncached by design: keys would embed the
+/// bitwise width, so a shared cache would accumulate one near-unhittable
+/// entry per glitch.
+double exactNrcProbe(charlib::NrcSpec nrc, double w) {
+    nrc.widths = {0.5 * w, w, 2.0 * w};
+    return charlib::characterizeNrc(nrc)(w);
+}
+
+}  // namespace
+
 double nrcLimitFor(const ClusterSpec& spec, const wave::GlitchMetrics& m,
-                   charlib::CharCache* cache) {
+                   charlib::CharCache* cache, const NrcOptions& nrcOpt) {
     const cell::CellLibrary& lib = cell::sharedLibrary(*spec.technology);
     charlib::NrcSpec nrc;
     nrc.cell = &lib.cell(spec.victim.receiverCell);
     nrc.input = nrc.cell->inputNames().front();
     // Quiet receiver input level = the victim's held level.
     nrc.quietLevel = spec.victim.outputLevel;
-    // The NRC is a property of the receiver cell, not of the glitch: probe a
-    // canonical log-spaced width grid once and evaluate the measured width
-    // by interpolation. One curve per (cell, quiet level) then serves every
-    // cluster of a run, which is what makes the curve cacheable. Half-octave
+    if (nrcOpt.interp == NrcOptions::Interp::kExact) {
+        // Validation reference: probe the exact measured width.
+        return exactNrcProbe(nrc, std::max(m.width, nrcOpt.widthMin));
+    }
+    // Default: probe the canonical width grid once per (cell, quiet level)
+    // and evaluate the measured width by interpolation — the grid is what
+    // makes the curve cacheable across every cluster of a run. Half-octave
     // spacing with log-width interpolation keeps the deviation from an
     // exact-width probe within ~0.15% — the bisection's own resolution.
-    std::vector<double> grid;
-    for (double p = 20e-12; p < 2.561e-9; p *= std::sqrt(2.0)) {
-        grid.push_back(p);
-    }
+    const std::vector<double> grid = nrcOpt.grid();
+    SNA_REQUIRE(grid.size() >= 2, "NRC width grid needs >= 2 points");
     const double w = std::max(m.width, grid.front());
     if (w > grid.back()) {
         // Wider than the canonical grid (only reachable when tstop is raised
         // above its default): clamping would read the limit of a narrower
-        // glitch, which is optimistic. Probe around the actual width instead
-        // (the curve is exact at its own nodes). Deliberately uncached: keys
-        // would embed the bitwise width, so a shared cache would accumulate
-        // one near-unhittable entry per wide glitch.
-        nrc.widths = {0.5 * w, w, 2.0 * w};
-        return charlib::characterizeNrc(nrc)(w);
+        // glitch, which is optimistic. Probe the actual width instead.
+        return exactNrcProbe(nrc, w);
     }
-    const auto evalLog = [w](const la::Grid1d& curve) {
+    const bool logInterp = nrcOpt.interp == NrcOptions::Interp::kLogWidth;
+    const auto eval = [w, logInterp](const la::Grid1d& curve) {
         const auto& xs = curve.xs();
         const auto& ys = curve.ys();
         if (w <= xs.front()) return ys.front();
         std::size_t i = 0;
         while (i + 2 < xs.size() && xs[i + 1] <= w) ++i;
-        const double t = (std::log(w) - std::log(xs[i])) /
-                         (std::log(xs[i + 1]) - std::log(xs[i]));
+        const double t =
+            logInterp ? (std::log(w) - std::log(xs[i])) /
+                            (std::log(xs[i + 1]) - std::log(xs[i]))
+                      : (w - xs[i]) / (xs[i + 1] - xs[i]);
         return ys[i] + t * (ys[i + 1] - ys[i]);
     };
     if (cache != nullptr) {
         // Cached: characterize the full canonical grid once per (cell,
         // level); every cluster then interpolates from the shared curve.
         nrc.widths = grid;
-        return evalLog(*cache->nrc(nrc));
+        return eval(*cache->nrc(nrc));
     }
     // Uncached: each width bisects independently, so characterizing just the
     // two widths bracketing w gives the bit-identical interpolated value at
@@ -58,7 +82,7 @@ double nrcLimitFor(const ClusterSpec& spec, const wave::GlitchMetrics& m,
     std::size_t i = 0;
     while (i + 2 < grid.size() && grid[i + 1] <= w) ++i;
     nrc.widths = {grid[i], grid[i + 1]};
-    return evalLog(charlib::characterizeNrc(nrc));
+    return eval(charlib::characterizeNrc(nrc));
 }
 
 ClusterReport analyzeCluster(const ClusterSpec& spec,
@@ -80,10 +104,14 @@ ClusterReport analyzeCluster(const ClusterSpec& spec,
     }
 
     report.nrcLimit = nrcLimitFor(spec, report.worst.metrics,
-                                  opt.macromodel.cache);
+                                  opt.macromodel.cache, opt.nrc);
     const double height = std::abs(report.worst.metrics.peak);
     report.fails = height >= report.nrcLimit;
     report.margin = report.nrcLimit - height;
+    report.glitchInHeight = spec.victim.glitchHeight;
+    report.glitchInWidth = spec.victim.glitchHeight > 0.0
+                               ? spec.victim.glitchWidth
+                               : 0.0;
     return report;
 }
 

@@ -17,12 +17,43 @@ struct ClusterReport {
     double nrcLimit = 0.0;   ///< failing height at the glitch's width, V
     bool fails = false;      ///< |peak| >= nrcLimit
     double margin = 0.0;     ///< nrcLimit - |peak| (negative = failure)
+    /// Echo of the propagated glitch injected at the victim driver input
+    /// for this run (0 when the cluster was analyzed without one).
+    double glitchInHeight = 0.0;  ///< V
+    double glitchInWidth = 0.0;   ///< s (triangle base width)
+};
+
+/// The canonical NRC probe grid and its evaluation mode. The NRC is a
+/// property of the receiver cell, not of one glitch: probing a canonical
+/// width grid once per (cell, quiet level) makes the curve cacheable across
+/// every cluster of a run, and the measured width is then evaluated by
+/// interpolation on that grid.
+struct NrcOptions {
+    /// First probed width, s.
+    double widthMin = 20e-12;
+    /// Grid stops at the last point below this, s.
+    double widthLimit = 2.561e-9;
+    /// Ratio between consecutive probe widths (default: half-octave).
+    double growth = 1.4142135623730951;  // sqrt(2)
+    enum class Interp {
+        kLogWidth,     ///< linear in log(width) — default, matches the
+                       ///< half-octave grid's ~0.15% deviation bound
+        kLinearWidth,  ///< linear in width
+        kExact,        ///< bisect the exact measured width (uncached: keys
+                       ///< would embed the bitwise width) — the validation
+                       ///< reference the grid modes are measured against
+    };
+    Interp interp = Interp::kLogWidth;
+
+    /// The probe grid implied by the knobs.
+    std::vector<double> grid() const;
 };
 
 struct ReportOptions {
     ClusterMacromodel::Options macromodel;
     bool searchAlignment = true;
     AlignmentOptions alignment;
+    NrcOptions nrc;
 };
 
 /// The complete per-cluster flow: characterize, find the worst alignment,
@@ -34,6 +65,7 @@ ClusterReport analyzeCluster(const ClusterSpec& spec,
 /// receiver at the measured width. With a cache, the NRC characterization
 /// runs at most once per (receiver cell, level, width grid).
 double nrcLimitFor(const ClusterSpec& spec, const wave::GlitchMetrics& m,
-                   charlib::CharCache* cache = nullptr);
+                   charlib::CharCache* cache = nullptr,
+                   const NrcOptions& nrcOpt = {});
 
 }  // namespace sna::core

@@ -1,8 +1,12 @@
 #include "core/sna.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
 
 #include "core/design_index.hpp"
+#include "core/propagate.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -46,21 +50,26 @@ std::vector<std::pair<const Instance*, std::string>> Design::loadsOf(
 
 namespace {
 
-/// Worst-of-both-holding-levels cluster analysis for one victim net. The
-/// aggressor list is already ranked strongest-coupled first; each entry is
-/// (driver cell name, aggressor net name).
-NetNoiseReport analyzeVictim(
-    const cell::CellLibrary& lib, const std::string& netName,
-    const Instance& driver, const Instance& firstLoad,
-    const std::vector<std::pair<std::string, std::string>>& rankedAggressors,
-    const ic::RcNetwork& rc, double tstop, const ReportOptions& ropt) {
-    NetNoiseReport report;
-    report.net = netName;
-    for (const auto& [drvCell, agg] : rankedAggressors) {
-        report.aggressorNets.push_back(agg);
-    }
+/// Records one cluster run's output glitch in the net's surviving front.
+void recordRun(SurvivingSet* out, const ClusterReport& run) {
+    if (out == nullptr) return;
+    SurvivingGlitch sg;
+    sg.height = std::abs(run.worst.metrics.peak);
+    sg.width = run.worst.metrics.width;
+    mergeSurviving(*out, sg);
+}
 
-    // Both victim holding levels are checked; the worse margin wins.
+/// Worst-of-both-holding-levels cluster run for one victim net, with an
+/// optional propagated glitch injected at the driver input. Both levels'
+/// output glitches join `outSurviving` — the non-governing level can leave
+/// the wider (incomparable) glitch on the net.
+ClusterReport runClusterBothLevels(
+    const cell::CellLibrary& lib, const Instance& driver,
+    const Instance& firstLoad,
+    const std::vector<std::pair<std::string, std::string>>& rankedAggressors,
+    const ic::RcNetwork& rc, double tstop, const ReportOptions& ropt,
+    const IncomingGlitch* incoming, SurvivingSet* outSurviving) {
+    ClusterReport worst;
     bool first = true;
     for (const bool level : {false, true}) {
         ClusterSpec spec;
@@ -72,6 +81,18 @@ NetNoiseReport analyzeVictim(
         spec.victim.glitchInput =
             lib.cell(driver.cellName).inputNames().front();
         spec.victim.receiverCell = firstLoad.cellName;
+        if (incoming != nullptr) {
+            spec.victim.glitchInput = incoming->inputPin;
+            spec.victim.glitchHeight = incoming->height;
+            // Stored as 50% width; the triangle injection takes the base.
+            spec.victim.glitchWidth = 2.0 * incoming->width;
+            // A broad, near-DC glitch can outlast the simulation window:
+            // the alignment search probes onsets up to 0.8 * tstop, so the
+            // triangle only fits for any probe when tstop >= 5x its base.
+            // Extend the window rather than clamp the glitch (clamping
+            // would analyze a narrower, weaker glitch — optimistic).
+            spec.tstop = std::max(spec.tstop, 6.0 * spec.victim.glitchWidth);
+        }
         for (const auto& [drvCell, agg] : rankedAggressors) {
             AggressorSpec as;
             as.driverCell = drvCell;
@@ -81,10 +102,66 @@ NetNoiseReport analyzeVictim(
             spec.aggressors.push_back(as);
         }
         auto cluster = analyzeCluster(spec, ropt);
-        if (first || cluster.margin < report.cluster.margin) {
-            report.cluster = std::move(cluster);
+        recordRun(outSurviving, cluster);
+        if (first || cluster.margin < worst.margin) {
+            worst = std::move(cluster);
         }
         first = false;
+    }
+    return worst;
+}
+
+/// Full per-net analysis: the local-only verdict (exactly what the flat
+/// propagate=false sweep computes), plus — when upstream glitches reach the
+/// driver — one combined run per incoming candidate (the Pareto front is
+/// incomparable until solved); the worst margin governs the report.
+/// `outSurviving`, when set, collects every run's output glitch: a
+/// non-governing candidate can still leave the wider (or taller) glitch on
+/// the net, and downstream stages must see it.
+NetNoiseReport analyzeVictim(
+    const cell::CellLibrary& lib, const std::string& netName,
+    const Instance& driver, const Instance& firstLoad,
+    const std::vector<std::pair<std::string, std::string>>& rankedAggressors,
+    const ic::RcNetwork& rc, double tstop, const ReportOptions& ropt,
+    const std::vector<IncomingGlitch>& incoming = {},
+    SurvivingSet* outSurviving = nullptr) {
+    NetNoiseReport report;
+    report.net = netName;
+    for (const auto& [drvCell, agg] : rankedAggressors) {
+        report.aggressorNets.push_back(agg);
+    }
+
+    report.cluster = runClusterBothLevels(lib, driver, firstLoad,
+                                          rankedAggressors, rc, tstop, ropt,
+                                          nullptr, outSurviving);
+    report.propagated.localPeak = std::abs(report.cluster.worst.metrics.peak);
+    report.propagated.localNrcLimit = report.cluster.nrcLimit;
+    report.propagated.localMargin = report.cluster.margin;
+    report.propagated.localFails = report.cluster.fails;
+
+    for (const IncomingGlitch& in : incoming) {
+        if (!report.propagated.present) {
+            // Record the primary (tallest) injected candidate even when the
+            // local-only run ends up governing: `present` reports that an
+            // upstream glitch reached this driver, not which run won.
+            report.propagated.present = true;
+            report.propagated.fromNet = in.fromNet;
+            report.propagated.inputPin = in.inputPin;
+            report.propagated.height = in.height;
+            report.propagated.width = in.width;
+        }
+        auto combined = runClusterBothLevels(lib, driver, firstLoad,
+                                             rankedAggressors, rc, tstop,
+                                             ropt, &in, outSurviving);
+        // The worst margin over {local, each combined candidate} governs: a
+        // destructively-aligned injection must not mask a local failure.
+        if (combined.margin < report.cluster.margin) {
+            report.cluster = std::move(combined);
+            report.propagated.fromNet = in.fromNet;
+            report.propagated.inputPin = in.inputPin;
+            report.propagated.height = in.height;
+            report.propagated.width = in.width;
+        }
     }
     return report;
 }
@@ -152,20 +229,174 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
     ReportOptions ropt = opt.report;
     if (ropt.macromodel.cache == nullptr) ropt.macromodel.cache = cache;
 
-    // ---- phase 2 (parallel): one independent cluster solve per victim.
-    // Slot i holds net i's report, so ordering stays SPEF order at any
-    // thread count.
-    std::vector<NetNoiseReport> reports(work.size());
-    util::parallelFor(opt.threads, static_cast<int>(work.size()), [&](int i) {
-        const Work& w = work[i];
+    const auto solveVictim = [&](const Work& w,
+                                 const std::vector<IncomingGlitch>& incoming,
+                                 SurvivingSet* outSurviving) {
         std::vector<std::string> clusterNets{*w.net};
         for (const auto& [drvCell, agg] : w.ranked) {
             clusterNets.push_back(agg);
         }
         const ic::RcNetwork rc = ic::rcFromSpef(spef, clusterNets);
-        reports[i] = analyzeVictim(lib, *w.net, *w.driver, *w.firstLoad,
-                                   w.ranked, rc, opt.tstop, ropt);
-    });
+        return analyzeVictim(lib, *w.net, *w.driver, *w.firstLoad, w.ranked,
+                             rc, opt.tstop, ropt, incoming, outSurviving);
+    };
+
+    std::vector<NetNoiseReport> reports(work.size());
+
+    if (!opt.propagate) {
+        // ---- phase 2, flat (parallel): one independent cluster solve per
+        // victim. Slot i holds net i's report, so ordering stays SPEF order
+        // at any thread count.
+        util::parallelFor(opt.threads, static_cast<int>(work.size()),
+                          [&](int i) {
+                              reports[i] = solveVictim(work[i], {}, nullptr);
+                          });
+        return reports;
+    }
+
+    // ---- phase 2, wavefront: levels of the design graph run in order, so
+    // every net's upstream glitch is recorded before its own stage solves;
+    // nets within a level are independent and solve in parallel. Victim
+    // clusters write their report slot (SPEF order is preserved because the
+    // slots were allocated in phase 1); quiet pass-through nets carry noise
+    // forward through the cached propagation tables.
+    std::unordered_map<std::string, int> slotOf;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+        slotOf.emplace(*work[i].net, static_cast<int>(i));
+    }
+    std::unordered_map<std::string, SurvivingSet> surviving;
+    std::vector<NetNoiseReport> passThrough;
+
+    for (const auto& levelNets : index.levels().levels) {
+        struct LevelItem {
+            const std::string* net = nullptr;
+            int slot = -1;  ///< work index, or -1 for a pass-through net
+            std::vector<IncomingGlitch> incoming;
+        };
+        std::vector<LevelItem> items;
+        for (const auto& net : levelNets) {
+            LevelItem item;
+            item.net = &net;
+            item.incoming = selectIncoming(index, net, surviving);
+            const auto sit = slotOf.find(net);
+            if (sit != slotOf.end()) {
+                item.slot = sit->second;
+            } else if (item.incoming.empty() ||
+                       (index.fanoutOf(net).empty() &&
+                        index.loadsOf(net).empty())) {
+                // Quiet non-victim net, or a leaf with neither downstream
+                // nets nor a receiver to check: nothing to do. (A loaded
+                // net with no fanout still needs the NRC check below.)
+                continue;
+            }
+            items.push_back(std::move(item));
+        }
+
+        std::vector<SurvivingSet> produced(items.size());
+        std::vector<std::optional<NetNoiseReport>> quietReports(items.size());
+        util::parallelFor(
+            opt.threads, static_cast<int>(items.size()), [&](int k) {
+                const LevelItem& item = items[k];
+                if (item.slot >= 0) {
+                    // Every run's output (local and per-candidate combined)
+                    // joins the net's surviving front: a non-governing
+                    // candidate can still leave the wider glitch.
+                    reports[item.slot] = solveVictim(
+                        work[item.slot], item.incoming, &produced[k]);
+                    return;
+                }
+                const Instance* drv = index.driverOf(*item.net);
+                // Pass-through items always have fanin edges, and fanin
+                // edges are only built through a net's driver.
+                SNA_REQUIRE(drv != nullptr,
+                            "pass-through net without a driver");
+                // Every candidate's transfer survives unless dominated:
+                // incomparable outputs stay side by side in the front.
+                struct Transfer {
+                    SurvivingGlitch sg;
+                    const IncomingGlitch* from = nullptr;
+                };
+                std::vector<Transfer> transfers;
+                for (const IncomingGlitch& in : item.incoming) {
+                    Transfer t;
+                    t.sg = propagateThroughDriver(lib.cell(drv->cellName),
+                                                  in.inputPin, in, cache);
+                    t.from = &in;
+                    if (t.sg.height >= opt.propagateMinHeight &&
+                        t.sg.width > 0.0) {
+                        transfers.push_back(t);
+                        mergeSurviving(produced[k], t.sg);
+                    }
+                }
+                // A quiet pass-through net has no cluster, but its receiver
+                // still sees the propagated glitch: check it against the
+                // NRC and report, so a propagated-only failure on an
+                // uncoupled net is not silently missed.
+                const auto& loads = index.loadsOf(*item.net);
+                if (transfers.empty() || loads.empty()) return;
+                NetNoiseReport pr;
+                pr.net = *item.net;
+                const IncomingGlitch* governing = transfers.front().from;
+                bool first = true;
+                for (const Transfer& t : transfers) {
+                    for (const bool level : {false, true}) {
+                        ClusterSpec spec;
+                        spec.technology = &lib.technology();
+                        spec.victim.receiverCell =
+                            loads.front().first->cellName;
+                        spec.victim.outputLevel = level;
+                        wave::GlitchMetrics m;
+                        m.peak = t.sg.height;
+                        m.width = t.sg.width;
+                        const double limit =
+                            nrcLimitFor(spec, m, cache, ropt.nrc);
+                        const double margin = limit - t.sg.height;
+                        if (first || margin < pr.cluster.margin) {
+                            pr.cluster.worst.metrics = m;
+                            pr.cluster.nrcLimit = limit;
+                            pr.cluster.margin = margin;
+                            pr.cluster.fails = t.sg.height >= limit;
+                            governing = t.from;
+                        }
+                        first = false;
+                    }
+                }
+                pr.propagated.present = true;
+                pr.propagated.fromNet = governing->fromNet;
+                pr.propagated.inputPin = governing->inputPin;
+                pr.propagated.height = governing->height;
+                pr.propagated.width = governing->width;
+                // No local (coupled) noise on a quiet net: the local-only
+                // margin is the receiver's full NRC budget.
+                pr.propagated.localPeak = 0.0;
+                pr.propagated.localNrcLimit = pr.cluster.nrcLimit;
+                pr.propagated.localMargin = pr.cluster.nrcLimit;
+                pr.propagated.localFails = false;
+                quietReports[k] = std::move(pr);
+            });
+        // Commit surviving glitches and quiet-net reports serially
+        // (deterministic at any thread count: the produced values depend
+        // only on prior levels, and slot k holds net k's results).
+        for (std::size_t k = 0; k < items.size(); ++k) {
+            SurvivingSet kept;
+            for (const SurvivingGlitch& sg : produced[k]) {
+                if (sg.height >= opt.propagateMinHeight && sg.width > 0.0) {
+                    kept.push_back(sg);
+                }
+            }
+            if (quietReports[k].has_value()) {
+                passThrough.push_back(std::move(*quietReports[k]));
+            }
+            if (!kept.empty()) {
+                surviving.emplace(*items[k].net, std::move(kept));
+            }
+        }
+    }
+    // Propagated-only entries for quiet nets follow the SPEF-ordered victim
+    // reports, in level-then-name order (deterministic).
+    reports.insert(reports.end(),
+                   std::make_move_iterator(passThrough.begin()),
+                   std::make_move_iterator(passThrough.end()));
     return reports;
 }
 

@@ -47,10 +47,29 @@ private:
     std::vector<Instance> instances_;
 };
 
+/// The propagated-noise component of a net's verdict (propagate=true only).
+struct PropagatedNoise {
+    bool present = false;  ///< an upstream glitch was injected at the driver
+    std::string fromNet;   ///< upstream net it arrived from
+    std::string inputPin;  ///< victim-driver input pin carrying it
+    double height = 0.0;   ///< V at the driver input
+    double width = 0.0;    ///< s, 50%-of-peak width
+    /// Local-only verdict (upstream glitch suppressed): bit-identical to
+    /// what propagate=false reports for the same cluster. When !present
+    /// these mirror `cluster` (local == combined without incoming noise).
+    double localPeak = 0.0;      ///< V, |worst peak|
+    double localNrcLimit = 0.0;  ///< V
+    double localMargin = 0.0;    ///< V (negative = failure)
+    bool localFails = false;
+};
+
 struct NetNoiseReport {
     std::string net;
     std::vector<std::string> aggressorNets;
+    /// The governing verdict: combined propagated + coupled noise when an
+    /// upstream glitch reaches this net's driver, local-only otherwise.
     ClusterReport cluster;
+    PropagatedNoise propagated;
 };
 
 struct DesignNoiseOptions {
@@ -63,6 +82,15 @@ struct DesignNoiseOptions {
     /// Characterization cache shared across clusters. nullptr uses a fresh
     /// per-run cache; pass one to share across runs or to read its stats.
     charlib::CharCache* cache = nullptr;
+    /// Stage-to-stage noise propagation: analyze nets level by level along
+    /// the design graph and inject each net's surviving glitch into its
+    /// fanout clusters (combined with the local coupling noise at the worst
+    /// alignment). false keeps the flat single-pass sweep — bit-identical
+    /// results at any thread count.
+    bool propagate = false;
+    /// Surviving glitches below this height are dropped instead of being
+    /// propagated further, V.
+    double propagateMinHeight = 1e-3;
 };
 
 /// Analyze every SPEF net that has coupling capacitance and a driver and at
@@ -70,8 +98,15 @@ struct DesignNoiseOptions {
 ///
 /// The pipeline: a one-pass DesignIndex replaces the per-query instance and
 /// cap scans, a CharCache runs each characterization (load curve, Thevenin,
-/// NRC) once per distinct key instead of once per cluster, and independent
-/// victim clusters solve on `opt.threads` workers.
+/// NRC, propagation table) once per distinct key instead of once per
+/// cluster, and independent victim clusters solve on `opt.threads` workers.
+/// With `opt.propagate`, the flat sweep becomes a levelized wavefront:
+/// DesignIndex's Kahn levels run in order (nets within a level still solve
+/// in parallel), so every net's upstream glitch is known before its own
+/// cluster solves. The victim reports stay in SPEF order; they are followed
+/// by propagated-only entries (empty aggressor list, NRC check against the
+/// propagated glitch) for quiet uncoupled nets that noise reaches, in
+/// deterministic level-then-name order.
 std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                                           const parser::SpefFile& spef,
                                           const DesignNoiseOptions& opt = {});
@@ -79,7 +114,8 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
 /// The pre-index brute-force sweep (linear instance scans per query, all-net
 /// cap scans per aggressor, full re-characterization per cluster, serial).
 /// Kept as the validation and benchmarking baseline: its reports must match
-/// analyzeDesign exactly. `opt.threads` and `opt.cache` are ignored.
+/// analyzeDesign exactly with `opt.propagate == false`. `opt.threads`,
+/// `opt.cache`, and `opt.propagate` are ignored.
 std::vector<NetNoiseReport> analyzeDesignReference(
     const Design& design, const parser::SpefFile& spef,
     const DesignNoiseOptions& opt = {});
