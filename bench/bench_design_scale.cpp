@@ -11,12 +11,19 @@
 //     and stage-to-stage glitch propagation, at 1 and 4 threads. The t=1
 //     and t=4 wavefront margins are cross-checked bitwise, and the count of
 //     combined-only failures (nets the flat local-only sweep passes but the
-//     propagated verdict fails) is reported.
+//     propagated verdict fails) is reported;
+//   * windowed: the chained wavefront again with alternating disjoint
+//     switching windows (even nets early, odd nets late), measuring the
+//     pessimism the FRAME-style window constraints recover: excluded
+//     aggressors, dropped incoming glitches, and the worst
+//     unconstrained-vs-windowed margins.
 // Margins are cross-checked within 1e-9 between every flat path. Emits one
 // JSON object (for the bench trajectory) after the human-readable table.
 //
 // Run:  ./build/bench_design_scale [--nets 50,200,800] [--reference-max 200]
-//                                  [--chains 4]
+//                                  [--chains 4] [--smoke]
+// --smoke: one tiny size, no reference sweep — a CI-speed run whose JSON
+// carries the full schema so bench bit-rot is caught before merge.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -28,6 +35,7 @@
 #include "core/design_index.hpp"
 #include "core/sna.hpp"
 #include "interconnect/parallel_bus.hpp"
+#include "parser/windows_parser.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -153,6 +161,13 @@ struct Row {
     std::size_t propagationRuns = 0;
     std::size_t combinedOnlyFails = 0;  ///< fails only with propagation
     double maxMarginDrop = 0.0;  ///< worst local-minus-combined margin, V
+    // Windowed (FRAME) chained variant.
+    double windowed1Sec = 0.0;
+    double maxMarginRecovery = 0.0;  ///< worst windowed-minus-unconstrained
+    double worstUnconstrainedMargin = 0.0;
+    double worstWindowedMargin = 0.0;
+    std::size_t windowExcludedAggressors = 0;
+    std::size_t windowDroppedIncoming = 0;
 };
 
 }  // namespace
@@ -163,6 +178,13 @@ int main(int argc, char** argv) {
     int chains = 4;
     try {
         for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--smoke") == 0) {
+                // CI-speed run: one tiny size, no reference sweep. The JSON
+                // still carries every schema field.
+                sizes = {12};
+                referenceMax = 0;
+                continue;
+            }
             if (std::strcmp(argv[i], "--nets") == 0 && i + 1 < argc) {
                 sizes.clear();
                 std::istringstream is(argv[++i]);
@@ -183,7 +205,7 @@ int main(int argc, char** argv) {
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--nets N1,N2,...] "
-                             "[--reference-max N] [--chains K]\n",
+                             "[--reference-max N] [--chains K] [--smoke]\n",
                              argv[0]);
                 return 1;
             }
@@ -274,6 +296,51 @@ int main(int argc, char** argv) {
         row.prop4Sec = seconds(t0);
         row.propMarginDiff = maxMarginDiff(prop1, prop4);
 
+        // ---- timing-windows variant --------------------------------------
+        // Disjoint switching slots in blocks of two (n0,n1 early; n2,n3
+        // late; ...): the in-slot ring neighbour keeps its aggressor role —
+        // so real glitches still survive the windowed stages — while the
+        // cross-slot neighbour is excluded and the surviving glitch is
+        // dropped at every slot boundary. The recovered pessimism is
+        // measured as windowed-minus-unconstrained margin per net.
+        std::ostringstream ws;
+        ws << "*T_UNIT 1 PS\n";
+        for (int i = 0; i < n; ++i) {
+            ws << "n" << i << ((i / 2) % 2 == 0 ? " 0 300" : " 1500 1800")
+               << "\n";
+        }
+        const core::TimingWindows windows =
+            parser::parseTimingWindows(ws.str());
+        core::DesignNoiseOptions wopt = popt;
+        charlib::CharCache wcache;
+        wopt.cache = &wcache;
+        wopt.threads = 1;
+        wopt.windows = &windows;
+        t0 = std::chrono::steady_clock::now();
+        const auto windowed = core::analyzeDesign(chained, chainSpef, wopt);
+        row.windowed1Sec = seconds(t0);
+        bool firstWindowed = true;
+        for (const auto& r : windowed) {
+            if (!r.windows.constrained) continue;
+            row.maxMarginRecovery =
+                std::max(row.maxMarginRecovery,
+                         r.windows.windowedMargin -
+                             r.windows.unconstrainedMargin);
+            row.windowExcludedAggressors +=
+                r.windows.excludedAggressors.size();
+            row.windowDroppedIncoming += r.windows.droppedIncoming.size();
+            if (firstWindowed ||
+                r.windows.unconstrainedMargin <
+                    row.worstUnconstrainedMargin) {
+                row.worstUnconstrainedMargin = r.windows.unconstrainedMargin;
+            }
+            if (firstWindowed ||
+                r.windows.windowedMargin < row.worstWindowedMargin) {
+                row.worstWindowedMargin = r.windows.windowedMargin;
+            }
+            firstWindowed = false;
+        }
+
         rows.push_back(row);
         std::fprintf(stderr, "done %d nets\n", n);
     }
@@ -310,6 +377,23 @@ int main(int argc, char** argv) {
         "Propagated-noise wavefront (chained design, %d chains)\n\n%s\n",
         chains, ptable.str().c_str());
 
+    util::Table wtable({"Nets", "Windowed t=1 (s)", "Excl aggs",
+                        "Dropped glitches", "Worst unconstr margin (V)",
+                        "Worst windowed margin (V)", "Max recovery (V)"});
+    for (const auto& r : rows) {
+        wtable.addRow({std::to_string(r.nets),
+                       util::Table::num(r.windowed1Sec, 2),
+                       std::to_string(r.windowExcludedAggressors),
+                       std::to_string(r.windowDroppedIncoming),
+                       util::Table::num(r.worstUnconstrainedMargin, 3),
+                       util::Table::num(r.worstWindowedMargin, 3),
+                       util::Table::num(r.maxMarginRecovery, 3)});
+    }
+    std::printf(
+        "Timing-windowed wavefront (alternating disjoint switching "
+        "slots)\n\n%s\n",
+        wtable.str().c_str());
+
     std::printf("{\"bench\": \"design_scale\", \"rows\": [");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& r = rows[i];
@@ -328,11 +412,19 @@ int main(int argc, char** argv) {
             "\"levels\": %zu, \"propagate_t1_sec\": %.4f, "
             "\"propagate_t4_sec\": %.4f, \"propagate_margin_diff\": %.3e, "
             "\"propagation_runs\": %zu, \"max_margin_drop\": %.4f, "
-            "\"combined_only_fails\": %zu}",
+            "\"combined_only_fails\": %zu, \"windowed_t1_sec\": %.4f, "
+            "\"window_excluded_aggressors\": %zu, "
+            "\"window_dropped_incoming\": %zu, "
+            "\"worst_unconstrained_margin\": %.4f, "
+            "\"worst_windowed_margin\": %.4f, "
+            "\"max_margin_recovery\": %.4f}",
             i == 0 ? "" : ", ", r.nets, r.reports, refStr.c_str(), r.opt1Sec,
             r.opt4Sec, speedupStr.c_str(), r.marginDiff, r.loadCurveRuns,
             r.nrcRuns, r.levels, r.prop1Sec, r.prop4Sec, r.propMarginDiff,
-            r.propagationRuns, r.maxMarginDrop, r.combinedOnlyFails);
+            r.propagationRuns, r.maxMarginDrop, r.combinedOnlyFails,
+            r.windowed1Sec, r.windowExcludedAggressors,
+            r.windowDroppedIncoming, r.worstUnconstrainedMargin,
+            r.worstWindowedMargin, r.maxMarginRecovery);
     }
     std::printf("], \"chains\": %d}\n", chains);
     return 0;

@@ -1,6 +1,8 @@
 #include "core/alignment.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -8,6 +10,20 @@
 namespace sna::core {
 
 namespace {
+
+constexpr double kQuiet = std::numeric_limits<double>::infinity();
+
+/// Feasible interval of one search variable; `active == false` means the
+/// variable is window-excluded and fixed (quiet aggressor).
+struct Axis {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool active = true;
+};
+
+double clampTo(double t, const Axis& ax) {
+    return std::min(std::max(t, ax.lo), ax.hi);
+}
 
 // Initial guess: align every contributor's estimated peak time at a common
 // instant T (far enough from t=0 for settling).
@@ -45,7 +61,51 @@ AlignmentResult findWorstAlignment(const ClusterMacromodel& model,
                                    const AlignmentOptions& opt) {
     const ClusterSpec& spec = model.spec();
     const bool hasGlitch = spec.victim.glitchHeight > 0.0;
+    const double tMax = 0.8 * spec.tstop;
+
+    // ---- feasible interval per search variable ---------------------------
+    // Aggressor windows constrain the OUTPUT transition [t + delay,
+    // t + delay + slew]; it overlaps window w iff the INPUT switch time t
+    // lies in [w.earliest - delay - slew, w.latest - delay]. The glitch
+    // window constrains the triangle occupancy [g, g + glitchWidth], so the
+    // onset interval is [w.earliest - glitchWidth, w.latest]. Everything is
+    // additionally clamped to [0, 0.8 tstop]: before t = 0 the stimulus is
+    // truncated and the objective misleading.
+    std::vector<Axis> aggAxis(spec.aggressors.size());
+    SNA_REQUIRE(opt.aggressorWindows.empty() ||
+                    opt.aggressorWindows.size() == spec.aggressors.size(),
+                "need one aggressor window per aggressor (or none)");
+    for (std::size_t a = 0; a < spec.aggressors.size(); ++a) {
+        Axis ax{0.0, tMax, true};
+        if (!opt.aggressorWindows.empty()) {
+            const TimingWindow& w = opt.aggressorWindows[a];
+            const auto& m = model.aggressorModels()[a];
+            if (w.empty()) {
+                ax.active = false;
+            } else {
+                ax.lo = std::max(0.0, w.earliest - m.delay - m.slew);
+                ax.hi = std::min(tMax, w.latest - m.delay);
+                ax.active = ax.lo <= ax.hi;
+            }
+        }
+        aggAxis[a] = ax;
+    }
+    Axis glitchAxis{0.0, tMax, hasGlitch};
+    if (hasGlitch && opt.glitchWindow.bounded()) {
+        glitchAxis.lo = std::max(
+            0.0, opt.glitchWindow.earliest - spec.victim.glitchWidth);
+        glitchAxis.hi = std::min(tMax, opt.glitchWindow.latest);
+        SNA_REQUIRE(glitchAxis.lo <= glitchAxis.hi,
+                    "glitch window leaves no feasible onset; drop the "
+                    "glitch candidate instead");
+    }
+
     InitialTimes times = peakAlignedInit(model);
+    for (std::size_t a = 0; a < times.agg.size(); ++a) {
+        times.agg[a] =
+            aggAxis[a].active ? clampTo(times.agg[a], aggAxis[a]) : kQuiet;
+    }
+    if (hasGlitch) times.glitch = clampTo(times.glitch, glitchAxis);
 
     AlignmentResult best;
     best.aggressorSwitchTimes = times.agg;
@@ -55,37 +115,52 @@ AlignmentResult findWorstAlignment(const ClusterMacromodel& model,
     best.evaluations = 1;
 
     // The spec's own alignment is a free candidate — never return worse
-    // than what the caller would get without the search.
+    // than what the caller would get without the search. Clamped into the
+    // feasible intervals, and preferred on ties so a flat landscape keeps
+    // the caller's alignment.
     {
         std::vector<double> specTimes;
-        for (const auto& agg : spec.aggressors) {
-            specTimes.push_back(agg.switchTime);
+        for (std::size_t a = 0; a < spec.aggressors.size(); ++a) {
+            specTimes.push_back(aggAxis[a].active
+                                    ? clampTo(spec.aggressors[a].switchTime,
+                                              aggAxis[a])
+                                    : kQuiet);
         }
+        const double specGlitch =
+            hasGlitch ? clampTo(spec.victim.glitchTime, glitchAxis)
+                      : times.glitch;
         NoiseResult r;
-        const double val =
-            objective(model, specTimes, spec.victim.glitchTime, &r);
+        const double val = objective(model, specTimes, specGlitch, &r);
         ++best.evaluations;
-        if (val > bestVal) {
+        if (val >= bestVal) {
             bestVal = val;
             best.aggressorSwitchTimes = std::move(specTimes);
-            best.glitchTime = spec.victim.glitchTime;
+            best.glitchTime = specGlitch;
             best.worst = std::move(r);
         }
     }
 
+    // Coordinate refinement over the ACTIVE axes only: window-excluded
+    // aggressors stay quiet, and with glitchHeight == 0 there is no glitch
+    // axis to probe at all (the dead axis is skipped, not searched).
     const std::size_t vars = times.agg.size() + (hasGlitch ? 1 : 0);
     double window = opt.window;
     for (int round = 0; round < opt.rounds; ++round) {
         for (std::size_t v = 0; v < vars; ++v) {
             const bool isGlitch = hasGlitch && v == times.agg.size();
+            const Axis& ax = isGlitch ? glitchAxis : aggAxis[v];
+            if (!ax.active) continue;
             const double center = isGlitch
                                       ? best.glitchTime
                                       : best.aggressorSwitchTimes[v];
+            double lastT = -1.0;  // no probe yet (feasible times are >= 0)
             for (int k = 0; k < opt.coarsePoints; ++k) {
-                const double t =
+                const double t = clampTo(
                     center - 0.5 * window +
-                    window * k / std::max(1, opt.coarsePoints - 1);
-                if (t < 0.0 || t > 0.8 * spec.tstop) continue;
+                        window * k / std::max(1, opt.coarsePoints - 1),
+                    ax);
+                if (t == lastT) continue;  // clamp collapsed the candidate
+                lastT = t;
                 auto aggTimes = best.aggressorSwitchTimes;
                 double glitchTime = best.glitchTime;
                 if (isGlitch) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/macromodel.hpp"
+#include "core/timing_windows.hpp"
 
 namespace sna::core {
 
@@ -16,9 +17,29 @@ struct AlignmentOptions {
     double window = 0.8e-9;   ///< search window around the initial times, s
     int coarsePoints = 7;     ///< grid points per variable per round
     int rounds = 3;           ///< shrink-and-refine rounds
+
+    /// Timing-window constraints (FRAME-style temporal correlation), all in
+    /// absolute simulation time. When `aggressorWindows` is non-empty it
+    /// must hold one window per spec aggressor: the allowed interval of
+    /// that aggressor's OUTPUT transition (already intersected with the
+    /// victim's sensitivity interval by the caller). The search maps it to
+    /// input switch times through the aggressor's characterized delay and
+    /// slew; an empty window — or one whose feasible input interval is
+    /// empty — excludes the aggressor: it is held quiet (switch time +inf,
+    /// reported as such in aggressorSwitchTimes) and its search axis is
+    /// skipped. The unbounded defaults reproduce the unconstrained search.
+    std::vector<TimingWindow> aggressorWindows;
+
+    /// Allowed occupancy window of the injected victim-input glitch (its
+    /// triangle spans [glitchTime, glitchTime + glitchWidth]). Callers must
+    /// drop the glitch candidate entirely instead of passing a window with
+    /// no feasible onset.
+    TimingWindow glitchWindow;
 };
 
 struct AlignmentResult {
+    /// Worst-case input switch times; +inf marks a window-excluded
+    /// aggressor that was held quiet.
     std::vector<double> aggressorSwitchTimes;
     double glitchTime = 0.0;
     NoiseResult worst;
@@ -26,7 +47,11 @@ struct AlignmentResult {
 };
 
 /// Coordinate-descent worst-|peak| search starting from peak-aligned
-/// initial times.
+/// initial times. All probed times are clamped to [0, 0.8 tstop] (and to
+/// the feasible window intervals when given): a candidate before t = 0
+/// would truncate the stimulus and score a misleading objective. The
+/// spec's own alignment is always evaluated and wins ties, so the search
+/// never returns worse than the caller's fixed alignment.
 AlignmentResult findWorstAlignment(const ClusterMacromodel& model,
                                    const AlignmentOptions& opt = {});
 

@@ -15,8 +15,9 @@ std::string ownerOf(const std::string& node) {
 
 }  // namespace
 
-DesignIndex::DesignIndex(const Design& design, const parser::SpefFile& spef)
-    : design_(&design) {
+DesignIndex::DesignIndex(const Design& design, const parser::SpefFile& spef,
+                         const TimingWindows* windows)
+    : design_(&design), windows_(windows) {
     const cell::CellLibrary& lib = design.library();
 
     // One pass over the instances: pin roles come from the cell definition.
@@ -24,7 +25,19 @@ DesignIndex::DesignIndex(const Design& design, const parser::SpefFile& spef)
         const cell::Cell& c = lib.cell(inst.cellName);
         const auto out = inst.pinToNet.find(c.outputName());
         if (out != inst.pinToNet.end()) {
-            driverByNet_.emplace(out->second, &inst);  // first driver wins
+            // Deterministic winner on a multiply-driven net: the instance
+            // with the lexicographically smallest name, regardless of
+            // insertion order. Losers are recorded, not silently dropped.
+            const auto [it, inserted] = driverByNet_.emplace(out->second,
+                                                             &inst);
+            if (!inserted) {
+                const Instance* loser = &inst;
+                if (inst.name < it->second->name) {
+                    loser = it->second;
+                    it->second = &inst;
+                }
+                extraDriversByNet_[out->second].push_back(loser->name);
+            }
         }
         for (const auto& in : c.inputNames()) {
             const auto it = inst.pinToNet.find(in);
@@ -32,6 +45,14 @@ DesignIndex::DesignIndex(const Design& design, const parser::SpefFile& spef)
                 loadsByNet_[it->second].push_back({&inst, in});
             }
         }
+    }
+    for (auto& [net, losers] : extraDriversByNet_) {
+        std::sort(losers.begin(), losers.end());
+        log::warn() << "net '" << net << "' is driven by "
+                    << losers.size() + 1 << " instances; analyzing driver '"
+                    << driverByNet_.at(net)->name << "' (ignored: "
+                    << losers.front()
+                    << (losers.size() > 1 ? ", ..." : "") << ")";
     }
 
     // One pass over every cap of every SPEF section: coupling caps attribute
@@ -51,7 +72,8 @@ DesignIndex::DesignIndex(const Design& design, const parser::SpefFile& spef)
 void DesignIndex::buildGraph() const {
     // The through-instance edges of the design graph. Only the net's actual
     // driver carries noise onto it, so edges are restricted to driver
-    // instances (first-wins on multiply-driven nets).
+    // instances (the deterministic lexicographic winner on multiply-driven
+    // nets — same choice as driverOf, so index and level graph agree).
     const cell::CellLibrary& lib = design_->library();
     for (const auto& inst : design_->instances()) {
         const cell::Cell& c = lib.cell(inst.cellName);
@@ -189,6 +211,13 @@ void DesignIndex::buildGraph() const {
 const Instance* DesignIndex::driverOf(const std::string& net) const {
     const auto it = driverByNet_.find(net);
     return it == driverByNet_.end() ? nullptr : it->second;
+}
+
+const std::vector<std::string>& DesignIndex::extraDriversOf(
+    const std::string& net) const {
+    static const std::vector<std::string> kEmpty;
+    const auto it = extraDriversByNet_.find(net);
+    return it == extraDriversByNet_.end() ? kEmpty : it->second;
 }
 
 const std::vector<std::pair<const Instance*, std::string>>&

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/sna.hpp"
+#include "core/timing_windows.hpp"
 #include "parser/spef_parser.hpp"
 
 namespace sna::core {
@@ -57,11 +58,28 @@ struct NetLevels {
 
 class DesignIndex {
 public:
-    DesignIndex(const Design& design, const parser::SpefFile& spef);
+    /// `windows`, when given, carries the per-net switching windows the
+    /// wavefront propagates (not owned; must outlive the index).
+    DesignIndex(const Design& design, const parser::SpefFile& spef,
+                const TimingWindows* windows = nullptr);
 
-    /// Instance driving `net`, or nullptr. Matches Design::driverOf (first
-    /// instance in design order wins when a net is multiply driven).
+    /// Instance driving `net`, or nullptr. Matches Design::driverOf: on a
+    /// multiply-driven net the winner is deterministic — the instance with
+    /// the lexicographically smallest name — regardless of insertion order;
+    /// the losing drivers are recorded in extraDriversOf().
     const Instance* driverOf(const std::string& net) const;
+
+    /// Names of the non-winning drivers of a multiply-driven net, sorted;
+    /// empty for singly-driven nets. Surfaced as a per-net warning in
+    /// NetNoiseReport instead of being dropped silently.
+    const std::vector<std::string>& extraDriversOf(
+        const std::string& net) const;
+
+    /// The design this index was built over.
+    const Design& design() const { return *design_; }
+
+    /// The explicit switching-window input (nullptr when none was given).
+    const TimingWindows* timingWindows() const { return windows_; }
 
     /// (instance, input pin) loads of `net`, in design order; empty if none.
     const std::vector<std::pair<const Instance*, std::string>>& loadsOf(
@@ -92,7 +110,10 @@ private:
     void ensureGraph() const { std::call_once(graphOnce_, [this] { buildGraph(); }); }
 
     const Design* design_ = nullptr;  ///< not owned; must outlive the index
+    const TimingWindows* windows_ = nullptr;  ///< not owned; may be null
     std::unordered_map<std::string, const Instance*> driverByNet_;
+    std::unordered_map<std::string, std::vector<std::string>>
+        extraDriversByNet_;
     std::unordered_map<std::string,
                        std::vector<std::pair<const Instance*, std::string>>>
         loadsByNet_;

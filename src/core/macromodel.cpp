@@ -1,6 +1,7 @@
 #include "core/macromodel.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <sstream>
 
 #include "mor/linear_network.hpp"
@@ -151,10 +152,18 @@ NoiseResult ClusterMacromodel::analyzeAt(
         const std::string inst = "agg" + std::to_string(a);
         const auto src = ckt.node(inst + "_th");
         const auto adp = ckt.node(inst + "_dp");
-        ckt.addVSource(
-            "v_" + inst, src, spice::kGround,
-            spice::SourceSpec::pwl(model.ramp(
-                aggressorSwitchTimes[a] + model.delay, spec_.tstop)));
+        if (std::isinf(aggressorSwitchTimes[a])) {
+            // Window-excluded aggressor: held quiet at its pre-transition
+            // rail. Its Thevenin resistance and coupling caps stay in the
+            // circuit — a silent neighbour still loads the victim.
+            ckt.addVSource("v_" + inst, src, spice::kGround,
+                           spice::SourceSpec::dc(model.vStart));
+        } else {
+            ckt.addVSource(
+                "v_" + inst, src, spice::kGround,
+                spice::SourceSpec::pwl(model.ramp(
+                    aggressorSwitchTimes[a] + model.delay, spec_.tstop)));
+        }
         ckt.addResistor("r_" + inst, src, adp, model.rth);
         ckt.addCapacitor("cdrv" + std::to_string(a + 1), adp, spice::kGround,
                          drvCaps_[a + 1]);

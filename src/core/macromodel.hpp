@@ -52,7 +52,9 @@ public:
     NoiseResult analyze() const;
 
     /// Run with explicit aggressor input-switch times and victim glitch
-    /// arrival (the worst-case search knobs).
+    /// arrival (the worst-case search knobs). A switch time of +inf holds
+    /// that aggressor quiet at its pre-transition rail (window-excluded
+    /// aggressors still load the victim, they just never switch).
     NoiseResult analyzeAt(const std::vector<double>& aggressorSwitchTimes,
                           double glitchTime) const;
 

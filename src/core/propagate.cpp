@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace sna::core {
 
@@ -92,6 +93,62 @@ std::vector<IncomingGlitch> selectIncoming(
               });
     capFront(front);
     return front;
+}
+
+TimingWindow propagateWindowThroughDriver(const cell::Cell& cell,
+                                          const std::string& pin,
+                                          const TimingWindow& fanin,
+                                          charlib::CharCache* cache) {
+    if (!fanin.bounded() || fanin.empty()) return fanin;
+    // Stage delay bounds from the driver's Thevenin equivalents: the output
+    // can start moving as early as the smaller insertion delay and can
+    // still be moving as late as the larger delay plus that direction's
+    // output slew ("widened by slew").
+    double dMin = std::numeric_limits<double>::infinity();
+    double dMax = -std::numeric_limits<double>::infinity();
+    for (const bool rising : {false, true}) {
+        charlib::TheveninSpec ts;
+        ts.cell = &cell;
+        ts.input = pin;
+        ts.outputRising = rising;
+        ts.loadCap = kPropagationLoadCap;
+        const charlib::TheveninModel m =
+            cache ? *cache->thevenin(ts) : charlib::characterizeThevenin(ts);
+        dMin = std::min(dMin, m.delay);
+        dMax = std::max(dMax, m.delay + m.slew);
+    }
+    return fanin.shifted(dMin, dMax);
+}
+
+std::unordered_map<std::string, TimingWindow> propagateWindows(
+    const DesignIndex& index, charlib::CharCache* cache) {
+    std::unordered_map<std::string, TimingWindow> out;
+    const TimingWindows* explicitWindows = index.timingWindows();
+    for (const auto& levelNets : index.levels().levels) {
+        for (const std::string& net : levelNets) {
+            if (explicitWindows != nullptr) {
+                if (const TimingWindow* w = explicitWindows->find(net)) {
+                    out.emplace(net, *w);
+                    continue;
+                }
+            }
+            bool any = false;
+            TimingWindow hull;
+            for (const FaninEdge& edge : index.faninOf(net)) {
+                const auto it = out.find(edge.fromNet);
+                const TimingWindow fanin = it != out.end()
+                                               ? it->second
+                                               : TimingWindow::unbounded();
+                const TimingWindow shifted = propagateWindowThroughDriver(
+                    index.design().library().cell(edge.inst->cellName),
+                    edge.pin, fanin, cache);
+                hull = any ? hull.unite(shifted) : shifted;
+                any = true;
+            }
+            out.emplace(net, any ? hull : TimingWindow::unbounded());
+        }
+    }
+    return out;
 }
 
 SurvivingGlitch propagateThroughDriver(const cell::Cell& cell,

@@ -81,4 +81,28 @@ SurvivingGlitch propagateThroughDriver(const cell::Cell& cell,
 /// that one table per (cell, pin, level) is the right trade.
 constexpr double kPropagationLoadCap = 30e-15;
 
+// ---------------------------------------------------------------- windows
+
+/// The switching window seen after `cell` when the transition arrives at
+/// input `pin` inside `fanin`: shifted by the stage's characterized
+/// insertion delay and widened by its output slew. Delay and slew come from
+/// the driver's Thevenin equivalents (both transition directions, at the
+/// canonical propagation load), so with a cache each (cell, pin, direction)
+/// characterizes once per run. Unbounded fanin windows pass through
+/// untouched without characterizing anything.
+TimingWindow propagateWindowThroughDriver(const cell::Cell& cell,
+                                          const std::string& pin,
+                                          const TimingWindow& fanin,
+                                          charlib::CharCache* cache);
+
+/// FRAME-style window propagation over the whole levelized design graph:
+/// nets with an explicit entry in `index.timingWindows()` keep it; every
+/// other net takes the union (hull) of its fanin windows, each shifted
+/// through the stage via propagateWindowThroughDriver; nets with no fanin
+/// and no entry default to the unbounded window. Returns one window per net
+/// of the level graph. Deterministic: levels run in order and fanin edges
+/// are pre-sorted.
+std::unordered_map<std::string, TimingWindow> propagateWindows(
+    const DesignIndex& index, charlib::CharCache* cache);
+
 }  // namespace sna::core

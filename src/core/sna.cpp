@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 
@@ -25,12 +26,19 @@ void Design::addInstance(Instance inst) {
 }
 
 const Instance* Design::driverOf(const std::string& net) const {
+    // Deterministic on multiply-driven nets: the lexicographically smallest
+    // instance name wins, independent of insertion order (DesignIndex makes
+    // the same choice, so the indexed and brute-force paths agree).
+    const Instance* best = nullptr;
     for (const auto& inst : instances_) {
         const cell::Cell& c = lib_->cell(inst.cellName);
         const auto it = inst.pinToNet.find(c.outputName());
-        if (it != inst.pinToNet.end() && it->second == net) return &inst;
+        if (it != inst.pinToNet.end() && it->second == net &&
+            (best == nullptr || inst.name < best->name)) {
+            best = &inst;
+        }
     }
-    return nullptr;
+    return best;
 }
 
 std::vector<std::pair<const Instance*, std::string>> Design::loadsOf(
@@ -63,12 +71,21 @@ void recordRun(SurvivingSet* out, const ClusterReport& run) {
 /// optional propagated glitch injected at the driver input. Both levels'
 /// output glitches join `outSurviving` — the non-governing level can leave
 /// the wider (incomparable) glitch on the net.
+///
+/// `aggWindows` / `glitchWindow`, when given, apply the timing-window
+/// constraints: an aggressor with an empty window is held quiet (switch
+/// time +inf — it still loads the victim but never switches), the
+/// alignment search only probes inside the feasible intervals, and in
+/// fixed-alignment mode (searchAlignment == false) the glitch onset is
+/// clamped into its feasible interval.
 ClusterReport runClusterBothLevels(
     const cell::CellLibrary& lib, const Instance& driver,
     const Instance& firstLoad,
     const std::vector<std::pair<std::string, std::string>>& rankedAggressors,
     const ic::RcNetwork& rc, double tstop, const ReportOptions& ropt,
-    const IncomingGlitch* incoming, SurvivingSet* outSurviving) {
+    const IncomingGlitch* incoming, SurvivingSet* outSurviving,
+    const std::vector<TimingWindow>* aggWindows = nullptr,
+    const TimingWindow* glitchWindow = nullptr) {
     ClusterReport worst;
     bool first = true;
     for (const bool level : {false, true}) {
@@ -101,7 +118,36 @@ ClusterReport runClusterBothLevels(
             as.outputRising = !level;
             spec.aggressors.push_back(as);
         }
-        auto cluster = analyzeCluster(spec, ropt);
+        const ReportOptions* use = &ropt;
+        ReportOptions constrained;
+        if (aggWindows != nullptr || glitchWindow != nullptr) {
+            constrained = ropt;
+            if (aggWindows != nullptr) {
+                constrained.alignment.aggressorWindows = *aggWindows;
+                for (std::size_t a = 0; a < spec.aggressors.size(); ++a) {
+                    if ((*aggWindows)[a].empty()) {
+                        spec.aggressors[a].switchTime =
+                            std::numeric_limits<double>::infinity();
+                    }
+                }
+            }
+            if (incoming != nullptr && glitchWindow != nullptr) {
+                constrained.alignment.glitchWindow = *glitchWindow;
+                if (glitchWindow->bounded()) {
+                    const double lo = std::max(
+                        0.0,
+                        glitchWindow->earliest - spec.victim.glitchWidth);
+                    const double hi = std::min(0.8 * spec.tstop,
+                                               glitchWindow->latest);
+                    if (lo <= hi) {
+                        spec.victim.glitchTime = std::min(
+                            std::max(spec.victim.glitchTime, lo), hi);
+                    }
+                }
+            }
+            use = &constrained;
+        }
+        auto cluster = analyzeCluster(spec, *use);
         recordRun(outSurviving, cluster);
         if (first || cluster.margin < worst.margin) {
             worst = std::move(cluster);
@@ -124,7 +170,9 @@ NetNoiseReport analyzeVictim(
     const std::vector<std::pair<std::string, std::string>>& rankedAggressors,
     const ic::RcNetwork& rc, double tstop, const ReportOptions& ropt,
     const std::vector<IncomingGlitch>& incoming = {},
-    SurvivingSet* outSurviving = nullptr) {
+    SurvivingSet* outSurviving = nullptr,
+    const std::vector<TimingWindow>* aggWindows = nullptr,
+    const std::vector<TimingWindow>* incomingWindows = nullptr) {
     NetNoiseReport report;
     report.net = netName;
     for (const auto& [drvCell, agg] : rankedAggressors) {
@@ -133,13 +181,14 @@ NetNoiseReport analyzeVictim(
 
     report.cluster = runClusterBothLevels(lib, driver, firstLoad,
                                           rankedAggressors, rc, tstop, ropt,
-                                          nullptr, outSurviving);
+                                          nullptr, outSurviving, aggWindows);
     report.propagated.localPeak = std::abs(report.cluster.worst.metrics.peak);
     report.propagated.localNrcLimit = report.cluster.nrcLimit;
     report.propagated.localMargin = report.cluster.margin;
     report.propagated.localFails = report.cluster.fails;
 
-    for (const IncomingGlitch& in : incoming) {
+    for (std::size_t i = 0; i < incoming.size(); ++i) {
+        const IncomingGlitch& in = incoming[i];
         if (!report.propagated.present) {
             // Record the primary (tallest) injected candidate even when the
             // local-only run ends up governing: `present` reports that an
@@ -150,9 +199,10 @@ NetNoiseReport analyzeVictim(
             report.propagated.height = in.height;
             report.propagated.width = in.width;
         }
-        auto combined = runClusterBothLevels(lib, driver, firstLoad,
-                                             rankedAggressors, rc, tstop,
-                                             ropt, &in, outSurviving);
+        auto combined = runClusterBothLevels(
+            lib, driver, firstLoad, rankedAggressors, rc, tstop, ropt, &in,
+            outSurviving, aggWindows,
+            incomingWindows != nullptr ? &(*incomingWindows)[i] : nullptr);
         // The worst margin over {local, each combined candidate} governs: a
         // destructively-aligned injection must not mask a local failure.
         if (combined.margin < report.cluster.margin) {
@@ -172,7 +222,8 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                                           const parser::SpefFile& spef,
                                           const DesignNoiseOptions& opt) {
     const cell::CellLibrary& lib = design.library();
-    const DesignIndex index(design, spef);
+    const DesignIndex index(design, spef,
+                            opt.propagate ? opt.windows : nullptr);
     charlib::CharCache runCache;
     charlib::CharCache* cache = opt.cache ? opt.cache : &runCache;
 
@@ -229,17 +280,23 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
     ReportOptions ropt = opt.report;
     if (ropt.macromodel.cache == nullptr) ropt.macromodel.cache = cache;
 
-    const auto solveVictim = [&](const Work& w,
-                                 const std::vector<IncomingGlitch>& incoming,
-                                 SurvivingSet* outSurviving) {
-        std::vector<std::string> clusterNets{*w.net};
-        for (const auto& [drvCell, agg] : w.ranked) {
-            clusterNets.push_back(agg);
-        }
-        const ic::RcNetwork rc = ic::rcFromSpef(spef, clusterNets);
-        return analyzeVictim(lib, *w.net, *w.driver, *w.firstLoad, w.ranked,
-                             rc, opt.tstop, ropt, incoming, outSurviving);
-    };
+    const auto solveVictim =
+        [&](const Work& w, const std::vector<IncomingGlitch>& incoming,
+            SurvivingSet* outSurviving,
+            const std::vector<TimingWindow>* aggWindows = nullptr,
+            const std::vector<TimingWindow>* incomingWindows = nullptr) {
+            std::vector<std::string> clusterNets{*w.net};
+            for (const auto& [drvCell, agg] : w.ranked) {
+                clusterNets.push_back(agg);
+            }
+            const ic::RcNetwork rc = ic::rcFromSpef(spef, clusterNets);
+            NetNoiseReport r = analyzeVictim(
+                lib, *w.net, *w.driver, *w.firstLoad, w.ranked, rc,
+                opt.tstop, ropt, incoming, outSurviving, aggWindows,
+                incomingWindows);
+            r.otherDrivers = index.extraDriversOf(*w.net);
+            return r;
+        };
 
     std::vector<NetNoiseReport> reports(work.size());
 
@@ -267,11 +324,36 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
     std::unordered_map<std::string, SurvivingSet> surviving;
     std::vector<NetNoiseReport> passThrough;
 
+    // ---- switching windows (FRAME-style temporal correlation) -----------
+    // Propagated once over the whole level graph before any cluster
+    // solves: a victim's aggressors can live on ANY level, so their
+    // windows must be known up front, not wavefront-ordered. Without
+    // windows this block is free and the wavefront below is untouched —
+    // bit-identical to the windows-less pipeline.
+    const bool useWindows = opt.windows != nullptr;
+    std::unordered_map<std::string, TimingWindow> netWindows;
+    if (useWindows) netWindows = propagateWindows(index, cache);
+    const auto windowAt = [&](const std::string& net) {
+        const auto it = netWindows.find(net);
+        return it != netWindows.end() ? it->second
+                                      : TimingWindow::unbounded();
+    };
+
     for (const auto& levelNets : index.levels().levels) {
         struct LevelItem {
             const std::string* net = nullptr;
             int slot = -1;  ///< work index, or -1 for a pass-through net
             std::vector<IncomingGlitch> incoming;
+            // Windows mode only:
+            TimingWindow sens;  ///< the net's own (sensitivity) window
+            std::vector<char> dropped;  ///< per incoming: window-dropped
+            std::vector<TimingWindow> incomingWindows;  ///< per incoming
+            std::vector<TimingWindow> aggWindows;  ///< per ranked aggressor
+            std::vector<std::string> excludedAggressors;
+            /// False when every window involved is unbounded and nothing
+            /// was dropped: the constrained run would equal the
+            /// unconstrained one, so a single solve serves both margins.
+            bool constraining = false;
         };
         std::vector<LevelItem> items;
         for (const auto& net : levelNets) {
@@ -289,6 +371,45 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                 // net with no fanout still needs the NRC check below.)
                 continue;
             }
+            if (useWindows) {
+                item.sens = windowAt(net);
+                for (const IncomingGlitch& in : item.incoming) {
+                    // The incoming glitch can only collide with this net
+                    // where its carrier's window overlaps the victim's
+                    // sensitivity interval — and, for victim clusters, only
+                    // if that overlap leaves a feasible onset inside the
+                    // simulation horizon (mirrors runClusterBothLevels).
+                    const TimingWindow ov =
+                        windowAt(in.fromNet).intersect(item.sens);
+                    bool drop = ov.empty();
+                    if (!drop && item.slot >= 0 && ov.bounded()) {
+                        const double base = 2.0 * in.width;
+                        const double tstopRun =
+                            std::max(opt.tstop, 6.0 * base);
+                        const double lo = std::max(0.0, ov.earliest - base);
+                        const double hi =
+                            std::min(0.8 * tstopRun, ov.latest);
+                        drop = lo > hi;
+                    }
+                    item.dropped.push_back(drop ? 1 : 0);
+                    item.incomingWindows.push_back(ov);
+                    if (drop || ov.bounded()) item.constraining = true;
+                }
+                if (item.slot >= 0) {
+                    for (const auto& [drvCell, agg] :
+                         work[item.slot].ranked) {
+                        const TimingWindow ov =
+                            windowAt(agg).intersect(item.sens);
+                        item.aggWindows.push_back(ov);
+                        if (ov.bounded() || ov.empty()) {
+                            item.constraining = true;
+                        }
+                        if (ov.empty()) {
+                            item.excludedAggressors.push_back(agg);
+                        }
+                    }
+                }
+            }
             items.push_back(std::move(item));
         }
 
@@ -298,11 +419,81 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
             opt.threads, static_cast<int>(items.size()), [&](int k) {
                 const LevelItem& item = items[k];
                 if (item.slot >= 0) {
-                    // Every run's output (local and per-candidate combined)
-                    // joins the net's surviving front: a non-governing
-                    // candidate can still leave the wider glitch.
-                    reports[item.slot] = solveVictim(
-                        work[item.slot], item.incoming, &produced[k]);
+                    if (!useWindows) {
+                        // Every run's output (local and per-candidate
+                        // combined) joins the net's surviving front: a
+                        // non-governing candidate can still leave the
+                        // wider glitch.
+                        reports[item.slot] = solveVictim(
+                            work[item.slot], item.incoming, &produced[k]);
+                        return;
+                    }
+                    if (!item.constraining) {
+                        // Every involved window is unbounded and nothing
+                        // was dropped: the constrained run would be the
+                        // unconstrained run. Solve once, report the margin
+                        // as both.
+                        NetNoiseReport r = solveVictim(
+                            work[item.slot], item.incoming, &produced[k]);
+                        r.windows.constrained = true;
+                        r.windows.window = item.sens;
+                        r.windows.unconstrainedMargin = r.cluster.margin;
+                        r.windows.windowedMargin = r.cluster.margin;
+                        reports[item.slot] = std::move(r);
+                        return;
+                    }
+                    // Windows mode: the unconstrained run first (the PR 2
+                    // pessimistic verdict, reported for comparison), then
+                    // the window-constrained run that governs the verdict
+                    // and feeds the surviving front downstream.
+                    NetNoiseReport unc = solveVictim(work[item.slot],
+                                                     item.incoming, nullptr);
+                    std::vector<IncomingGlitch> kept;
+                    std::vector<TimingWindow> keptWindows;
+                    std::vector<std::string> droppedFrom;
+                    for (std::size_t i = 0; i < item.incoming.size(); ++i) {
+                        if (item.dropped[i] != 0) {
+                            droppedFrom.push_back(item.incoming[i].fromNet);
+                            continue;
+                        }
+                        kept.push_back(item.incoming[i]);
+                        keptWindows.push_back(item.incomingWindows[i]);
+                    }
+                    NetNoiseReport win = solveVictim(
+                        work[item.slot], kept, &produced[k],
+                        &item.aggWindows, &keptWindows);
+                    win.windows.constrained = true;
+                    win.windows.window = item.sens;
+                    win.windows.unconstrainedMargin = unc.cluster.margin;
+                    win.windows.windowedMargin = win.cluster.margin;
+                    // Exclusions are recorded from two places: empty
+                    // window overlaps (decided here), and aggressors the
+                    // governing run's search had to hold quiet because the
+                    // overlap left no feasible INPUT switch time once
+                    // mapped through that run's delay/slew (+inf times).
+                    std::vector<std::string> excluded =
+                        item.excludedAggressors;
+                    const auto& times = win.cluster.aggressorSwitchTimes;
+                    for (std::size_t a = 0;
+                         a < times.size() &&
+                         a < work[item.slot].ranked.size();
+                         ++a) {
+                        if (std::isinf(times[a])) {
+                            excluded.push_back(
+                                work[item.slot].ranked[a].second);
+                        }
+                    }
+                    std::sort(excluded.begin(), excluded.end());
+                    excluded.erase(
+                        std::unique(excluded.begin(), excluded.end()),
+                        excluded.end());
+                    win.windows.excludedAggressors = std::move(excluded);
+                    std::sort(droppedFrom.begin(), droppedFrom.end());
+                    droppedFrom.erase(
+                        std::unique(droppedFrom.begin(), droppedFrom.end()),
+                        droppedFrom.end());
+                    win.windows.droppedIncoming = std::move(droppedFrom);
+                    reports[item.slot] = std::move(win);
                     return;
                 }
                 const Instance* drv = index.driverOf(*item.net);
@@ -312,60 +503,121 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                             "pass-through net without a driver");
                 // Every candidate's transfer survives unless dominated:
                 // incomparable outputs stay side by side in the front.
+                // Window-dropped candidates (their carrier's window misses
+                // this net's sensitivity interval) neither survive nor
+                // reach the receiver; they are kept aside only for the
+                // unconstrained comparison margin.
                 struct Transfer {
                     SurvivingGlitch sg;
                     const IncomingGlitch* from = nullptr;
                 };
                 std::vector<Transfer> transfers;
-                for (const IncomingGlitch& in : item.incoming) {
+                std::vector<Transfer> allTransfers;  // windows mode only
+                std::vector<std::string> droppedFrom;
+                for (std::size_t i = 0; i < item.incoming.size(); ++i) {
+                    const IncomingGlitch& in = item.incoming[i];
+                    const bool drop = useWindows && item.dropped[i] != 0;
+                    // Every window-dropped candidate is recorded, whether
+                    // or not its transfer would have cleared the height
+                    // filter — same accounting as the victim branch.
+                    if (drop) droppedFrom.push_back(in.fromNet);
                     Transfer t;
                     t.sg = propagateThroughDriver(lib.cell(drv->cellName),
                                                   in.inputPin, in, cache);
                     t.from = &in;
-                    if (t.sg.height >= opt.propagateMinHeight &&
-                        t.sg.width > 0.0) {
-                        transfers.push_back(t);
-                        mergeSurviving(produced[k], t.sg);
+                    if (t.sg.height < opt.propagateMinHeight ||
+                        t.sg.width <= 0.0) {
+                        continue;
                     }
+                    if (useWindows) allTransfers.push_back(t);
+                    if (drop) continue;
+                    transfers.push_back(t);
+                    mergeSurviving(produced[k], t.sg);
                 }
                 // A quiet pass-through net has no cluster, but its receiver
                 // still sees the propagated glitch: check it against the
                 // NRC and report, so a propagated-only failure on an
-                // uncoupled net is not silently missed.
+                // uncoupled net is not silently missed. The worst (minimum)
+                // margin over a transfer set, both holding levels each:
                 const auto& loads = index.loadsOf(*item.net);
-                if (transfers.empty() || loads.empty()) return;
+                struct Scan {
+                    ClusterReport cluster;
+                    const IncomingGlitch* governing = nullptr;
+                };
+                const auto nrcScan = [&](const std::vector<Transfer>& ts) {
+                    Scan s;
+                    bool first = true;
+                    for (const Transfer& t : ts) {
+                        for (const bool level : {false, true}) {
+                            ClusterSpec spec;
+                            spec.technology = &lib.technology();
+                            spec.victim.receiverCell =
+                                loads.front().first->cellName;
+                            spec.victim.outputLevel = level;
+                            wave::GlitchMetrics m;
+                            m.peak = t.sg.height;
+                            m.width = t.sg.width;
+                            const double limit =
+                                nrcLimitFor(spec, m, cache, ropt.nrc);
+                            const double margin = limit - t.sg.height;
+                            if (first || margin < s.cluster.margin) {
+                                s.cluster.worst.metrics = m;
+                                s.cluster.nrcLimit = limit;
+                                s.cluster.margin = margin;
+                                s.cluster.fails = t.sg.height >= limit;
+                                s.governing = t.from;
+                            }
+                            first = false;
+                        }
+                    }
+                    return s;
+                };
+                if (loads.empty()) return;
+                if (transfers.empty() &&
+                    (!useWindows || allTransfers.empty())) {
+                    return;
+                }
                 NetNoiseReport pr;
                 pr.net = *item.net;
-                const IncomingGlitch* governing = transfers.front().from;
-                bool first = true;
-                for (const Transfer& t : transfers) {
-                    for (const bool level : {false, true}) {
-                        ClusterSpec spec;
-                        spec.technology = &lib.technology();
-                        spec.victim.receiverCell =
-                            loads.front().first->cellName;
-                        spec.victim.outputLevel = level;
-                        wave::GlitchMetrics m;
-                        m.peak = t.sg.height;
-                        m.width = t.sg.width;
-                        const double limit =
-                            nrcLimitFor(spec, m, cache, ropt.nrc);
-                        const double margin = limit - t.sg.height;
-                        if (first || margin < pr.cluster.margin) {
-                            pr.cluster.worst.metrics = m;
-                            pr.cluster.nrcLimit = limit;
-                            pr.cluster.margin = margin;
-                            pr.cluster.fails = t.sg.height >= limit;
-                            governing = t.from;
-                        }
-                        first = false;
-                    }
+                if (!transfers.empty()) {
+                    Scan s = nrcScan(transfers);
+                    pr.cluster = std::move(s.cluster);
+                    pr.propagated.present = true;
+                    pr.propagated.fromNet = s.governing->fromNet;
+                    pr.propagated.inputPin = s.governing->inputPin;
+                    pr.propagated.height = s.governing->height;
+                    pr.propagated.width = s.governing->width;
                 }
-                pr.propagated.present = true;
-                pr.propagated.fromNet = governing->fromNet;
-                pr.propagated.inputPin = governing->inputPin;
-                pr.propagated.height = governing->height;
-                pr.propagated.width = governing->width;
+                if (useWindows) {
+                    // The unconstrained view over every transfer, dropped
+                    // or not — what the windows-less wavefront would have
+                    // checked here. With nothing dropped it is the scan
+                    // already done.
+                    Scan unc;
+                    if (droppedFrom.empty()) {
+                        unc.cluster = pr.cluster;
+                    } else {
+                        unc = nrcScan(allTransfers);
+                    }
+                    pr.windows.constrained = true;
+                    pr.windows.window = item.sens;
+                    pr.windows.unconstrainedMargin = unc.cluster.margin;
+                    if (transfers.empty()) {
+                        // Every candidate was window-dropped: no noise
+                        // reaches the receiver in-window, so the governing
+                        // margin is the full NRC budget of the glitch the
+                        // unconstrained view would have seen.
+                        pr.cluster.nrcLimit = unc.cluster.nrcLimit;
+                        pr.cluster.margin = unc.cluster.nrcLimit;
+                        pr.cluster.fails = false;
+                    }
+                    pr.windows.windowedMargin = pr.cluster.margin;
+                    std::sort(droppedFrom.begin(), droppedFrom.end());
+                    droppedFrom.erase(std::unique(droppedFrom.begin(),
+                                                  droppedFrom.end()),
+                                      droppedFrom.end());
+                    pr.windows.droppedIncoming = std::move(droppedFrom);
+                }
                 // No local (coupled) noise on a quiet net: the local-only
                 // margin is the receiver's full NRC budget.
                 pr.propagated.localPeak = 0.0;
@@ -466,6 +718,18 @@ std::vector<NetNoiseReport> analyzeDesignReference(
                                         *loads.front().first,
                                         rankedAggressors, rc, opt.tstop,
                                         ropt));
+        // Surface the non-winning drivers of a multiply-driven net, same
+        // as the indexed path.
+        for (const auto& inst : design.instances()) {
+            const cell::Cell& c = lib.cell(inst.cellName);
+            const auto out = inst.pinToNet.find(c.outputName());
+            if (out != inst.pinToNet.end() && out->second == netName &&
+                &inst != driver) {
+                reports.back().otherDrivers.push_back(inst.name);
+            }
+        }
+        std::sort(reports.back().otherDrivers.begin(),
+                  reports.back().otherDrivers.end());
     }
     return reports;
 }

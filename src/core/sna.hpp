@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "core/timing_windows.hpp"
 #include "parser/spef_parser.hpp"
 
 namespace sna::core {
@@ -36,6 +37,8 @@ public:
     const std::vector<Instance>& instances() const { return instances_; }
 
     /// Instance driving `net` (its output pin is on the net), or nullptr.
+    /// On a multiply-driven net the winner is deterministic: the instance
+    /// with the lexicographically smallest name, matching DesignIndex.
     const Instance* driverOf(const std::string& net) const;
 
     /// (instance, input pin) pairs loading `net`.
@@ -55,12 +58,35 @@ struct PropagatedNoise {
     double height = 0.0;   ///< V at the driver input
     double width = 0.0;    ///< s, 50%-of-peak width
     /// Local-only verdict (upstream glitch suppressed): bit-identical to
-    /// what propagate=false reports for the same cluster. When !present
-    /// these mirror `cluster` (local == combined without incoming noise).
+    /// what propagate=false reports for the same cluster (with timing
+    /// windows supplied it is the window-constrained local run instead).
+    /// When !present these mirror `cluster` (local == combined without
+    /// incoming noise).
     double localPeak = 0.0;      ///< V, |worst peak|
     double localNrcLimit = 0.0;  ///< V
     double localMargin = 0.0;    ///< V (negative = failure)
     bool localFails = false;
+};
+
+/// Timing-window outcome of a net's verdict (only filled when
+/// DesignNoiseOptions::windows was supplied to the wavefront).
+struct WindowNoise {
+    bool constrained = false;  ///< windows were supplied and applied
+    /// The net's switching window: explicit input entry, or the hull of its
+    /// fanin windows propagated through the stage delays.
+    TimingWindow window;
+    /// Worst margin ignoring all windows — the pessimistic verdict the
+    /// PR 2 wavefront reports — next to the window-constrained margin that
+    /// governs `cluster`. windowedMargin - unconstrainedMargin is the
+    /// pessimism the windows recovered (>= 0 up to search noise).
+    double unconstrainedMargin = 0.0;
+    double windowedMargin = 0.0;
+    /// Aggressor nets whose switching window cannot overlap the victim's
+    /// sensitivity interval: dropped from the worst-case combination.
+    std::vector<std::string> excludedAggressors;
+    /// Upstream nets whose surviving glitch was dropped at this net because
+    /// its arrival window misses the victim's sensitivity interval.
+    std::vector<std::string> droppedIncoming;
 };
 
 struct NetNoiseReport {
@@ -68,8 +94,15 @@ struct NetNoiseReport {
     std::vector<std::string> aggressorNets;
     /// The governing verdict: combined propagated + coupled noise when an
     /// upstream glitch reaches this net's driver, local-only otherwise.
+    /// With timing windows supplied, this is the window-constrained run.
     ClusterReport cluster;
     PropagatedNoise propagated;
+    WindowNoise windows;
+    /// Non-winning drivers of a multiply-driven net (the lexicographically
+    /// smallest instance is analyzed); empty for singly-driven nets.
+    /// Surfaced here so the conflict is visible in sign-off instead of
+    /// being dropped silently.
+    std::vector<std::string> otherDrivers;
 };
 
 struct DesignNoiseOptions {
@@ -91,6 +124,15 @@ struct DesignNoiseOptions {
     /// Surviving glitches below this height are dropped instead of being
     /// propagated further, V.
     double propagateMinHeight = 1e-3;
+    /// Per-net switching windows (FRAME-style temporal correlation), not
+    /// owned. Wavefront mode only (`propagate == true`; ignored otherwise):
+    /// windows propagate level-by-level along the design graph, aggressors
+    /// and incoming glitches only collide with a victim where their windows
+    /// overlap its sensitivity interval, and every report carries the
+    /// unconstrained margin next to the window-constrained one. nullptr —
+    /// or all-unbounded windows — reproduces the pure worst-alignment
+    /// wavefront.
+    const TimingWindows* windows = nullptr;
 };
 
 /// Analyze every SPEF net that has coupling capacitance and a driver and at

@@ -1,0 +1,91 @@
+#include "parser/windows_parser.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sna::parser {
+
+namespace {
+
+double unitScale(std::string_view unit, int line) {
+    if (str::iequals(unit, "S")) return 1.0;
+    if (str::iequals(unit, "MS")) return 1e-3;
+    if (str::iequals(unit, "US")) return 1e-6;
+    if (str::iequals(unit, "NS")) return 1e-9;
+    if (str::iequals(unit, "PS")) return 1e-12;
+    if (str::iequals(unit, "FS")) return 1e-15;
+    throw ParseError("unknown time unit '" + std::string(unit) + "'", line);
+}
+
+/// One window bound: a number in file units, or '*' for "unbounded".
+double parseBound(std::string_view tok, double scale, bool isEarliest,
+                  int line) {
+    if (tok == "*") {
+        return isEarliest ? -std::numeric_limits<double>::infinity()
+                          : std::numeric_limits<double>::infinity();
+    }
+    const auto v = str::parseSpiceNumber(tok);
+    if (!v.has_value()) {
+        throw ParseError("bad window bound '" + std::string(tok) + "'", line);
+    }
+    return *v * scale;
+}
+
+}  // namespace
+
+core::TimingWindows parseTimingWindows(const std::string& text) {
+    core::TimingWindows out;
+    std::istringstream is(text);
+    std::string rawLine;
+    double scale = 1.0;  // default: seconds
+    int lineNo = 0;
+    while (std::getline(is, rawLine)) {
+        ++lineNo;
+        std::string_view line = str::trim(rawLine);
+        if (line.empty() || line.front() == '#' ||
+            line.substr(0, 2) == "//") {
+            continue;
+        }
+        const auto toks = str::split(line);
+        if (str::iequals(toks.front(), "*T_UNIT")) {
+            if (toks.size() != 3) {
+                throw ParseError("*T_UNIT needs a multiplier and a unit",
+                                 lineNo);
+            }
+            const auto mult = str::parseSpiceNumber(toks[1]);
+            if (!mult.has_value() || *mult <= 0.0) {
+                throw ParseError("bad *T_UNIT multiplier '" +
+                                     std::string(toks[1]) + "'",
+                                 lineNo);
+            }
+            scale = *mult * unitScale(toks[2], lineNo);
+            continue;
+        }
+        if (toks.size() != 3) {
+            throw ParseError(
+                "expected '<net> <earliest> <latest>', got '" +
+                    std::string(line) + "'",
+                lineNo);
+        }
+        const std::string net(toks[0]);
+        core::TimingWindow w;
+        w.earliest = parseBound(toks[1], scale, true, lineNo);
+        w.latest = parseBound(toks[2], scale, false, lineNo);
+        if (w.empty()) {
+            throw ParseError("window of net '" + net +
+                                 "' has earliest > latest",
+                             lineNo);
+        }
+        if (out.find(net) != nullptr) {
+            throw ParseError("duplicate window for net '" + net + "'",
+                             lineNo);
+        }
+        out.set(net, w);
+    }
+    return out;
+}
+
+}  // namespace sna::parser

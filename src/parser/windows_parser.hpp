@@ -1,0 +1,23 @@
+// Text loader for per-net switching windows (core::TimingWindows).
+//
+// A deliberately small line format — the piece an STA tool would export:
+//
+//   // comment (also: # comment); blank lines ignored
+//   *T_UNIT 1 PS          optional, SPEF-style; default is seconds
+//   <net> <earliest> <latest>
+//   <net> * <latest>      '*' leaves that bound unbounded
+//
+// Times are multiplied by the unit directive. `earliest > latest` and
+// duplicate nets are reported as parse errors with line numbers.
+#pragma once
+
+#include <string>
+
+#include "core/timing_windows.hpp"
+
+namespace sna::parser {
+
+/// Parse a windows file. Throws sna::ParseError with line numbers.
+core::TimingWindows parseTimingWindows(const std::string& text);
+
+}  // namespace sna::parser
