@@ -5,13 +5,17 @@
 // connects a gate-level design to them, and times end-to-end analyzeDesign:
 //   * reference: the pre-index brute-force sweep (linear instance scans,
 //     all-net cap scans, full per-cluster re-characterization, serial);
-//   * optimized: DesignIndex + shared CharCache, at 1 and 4 threads;
+//   * optimized: DesignIndex + shared CharCache, swept across --threads
+//     (default 1,2,4,8);
 //   * propagate: the same parasitics wired as `--chains` parallel chains of
-//     depth N/chains (deep levels), analyzed with the levelized wavefront
-//     and stage-to-stage glitch propagation, at 1 and 4 threads. The t=1
-//     and t=4 wavefront margins are cross-checked bitwise, and the count of
-//     combined-only failures (nets the flat local-only sweep passes but the
-//     propagated verdict fails) is reported;
+//     depth N/chains (deep levels), analyzed with the dependency-counted
+//     task-graph wavefront and stage-to-stage glitch propagation, across
+//     the same thread sweep. All sweep margins are cross-checked bitwise
+//     against t=1, the max-thread run is cross-checked bitwise against the
+//     level-barrier mode and reports its scheduler counters (tasks, steals,
+//     ready-frontier high water, per-worker busy fractions), and the count
+//     of combined-only failures (nets the flat local-only sweep passes but
+//     the propagated verdict fails) is reported;
 //   * windowed: the chained wavefront again with alternating disjoint
 //     switching windows (even nets early, odd nets late), measuring the
 //     pessimism the FRAME-style window constraints recover: excluded
@@ -20,10 +24,12 @@
 // Margins are cross-checked within 1e-9 between every flat path. Emits one
 // JSON object (for the bench trajectory) after the human-readable table.
 //
-// Run:  ./build/bench_design_scale [--nets 50,200,800] [--reference-max 200]
-//                                  [--chains 4] [--smoke]
-// --smoke: one tiny size, no reference sweep — a CI-speed run whose JSON
-// carries the full schema so bench bit-rot is caught before merge.
+// Run:  ./build/bench_design_scale [--nets 50,200,800] [--threads 1,2,4,8]
+//                                  [--reference-max 200] [--chains 4]
+//                                  [--smoke]
+// --smoke: one tiny size, threads 1,4, no reference sweep — a CI-speed run
+// whose JSON carries the full schema so bench bit-rot is caught before
+// merge.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -144,11 +150,20 @@ double maxMarginDiff(const std::vector<core::NetNoiseReport>& a,
     return worst;
 }
 
+/// One thread count of the sweep: flat optimized sweep and propagated
+/// (task-graph) wavefront wall times at that count.
+struct SweepPoint {
+    int threads = 0;
+    double flatSec = 0.0;
+    double propSec = 0.0;
+};
+
 struct Row {
     int nets = 0;
     double refSec = -1.0;  ///< < 0: reference not measured at this size
     double opt1Sec = 0.0;
     double opt4Sec = 0.0;
+    std::vector<SweepPoint> sweep;
     double marginDiff = 0.0;
     std::size_t reports = 0;
     std::size_t loadCurveRuns = 0;
@@ -158,6 +173,14 @@ struct Row {
     double prop4Sec = 0.0;
     double propMarginDiff = 0.0;  ///< t=1 vs t=4 wavefront, must be 0
     std::size_t levels = 0;
+    // Task-graph scheduler counters from the max-thread propagate run.
+    std::size_t schedTasks = 0;
+    std::size_t schedSteals = 0;
+    std::size_t schedMaxReady = 0;
+    std::vector<double> schedBusy;  ///< per-worker busy fraction
+    /// Task-graph vs level-barrier wavefront at the max thread count; the
+    /// scheduler's determinism contract makes this exactly 0.
+    double barrierMarginDiff = 0.0;
     std::size_t propagationRuns = 0;
     std::size_t combinedOnlyFails = 0;  ///< fails only with propagation
     double maxMarginDrop = 0.0;  ///< worst local-minus-combined margin, V
@@ -174,14 +197,16 @@ struct Row {
 
 int main(int argc, char** argv) {
     std::vector<int> sizes{50, 200, 800};
+    std::vector<int> threadsSweep{1, 2, 4, 8};
     int referenceMax = 200;  // brute force is super-quadratic; cap it
     int chains = 4;
     try {
         for (int i = 1; i < argc; ++i) {
             if (std::strcmp(argv[i], "--smoke") == 0) {
-                // CI-speed run: one tiny size, no reference sweep. The JSON
-                // still carries every schema field.
+                // CI-speed run: one tiny size, no reference sweep, short
+                // thread sweep. The JSON still carries every schema field.
                 sizes = {12};
+                threadsSweep = {1, 4};
                 referenceMax = 0;
                 continue;
             }
@@ -191,6 +216,18 @@ int main(int argc, char** argv) {
                 std::string tok;
                 while (std::getline(is, tok, ',')) {
                     sizes.push_back(std::stoi(tok));
+                }
+            } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                       i + 1 < argc) {
+                threadsSweep.clear();
+                std::istringstream is(argv[++i]);
+                std::string tok;
+                while (std::getline(is, tok, ',')) {
+                    threadsSweep.push_back(std::stoi(tok));
+                }
+                if (threadsSweep.empty()) {
+                    std::fprintf(stderr, "--threads needs a list\n");
+                    return 1;
                 }
             } else if (std::strcmp(argv[i], "--reference-max") == 0 &&
                        i + 1 < argc) {
@@ -205,7 +242,8 @@ int main(int argc, char** argv) {
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--nets N1,N2,...] "
-                             "[--reference-max N] [--chains K] [--smoke]\n",
+                             "[--threads T1,T2,...] [--reference-max N] "
+                             "[--chains K] [--smoke]\n",
                              argv[0]);
                 return 1;
             }
@@ -231,24 +269,34 @@ int main(int argc, char** argv) {
         Row row;
         row.nets = n;
 
-        charlib::CharCache cache;
-        opt.cache = &cache;
-        opt.threads = 1;
+        // Flat sweep across the thread counts, a fresh cache per count so
+        // every run does the same characterization work.
+        std::vector<core::NetNoiseReport> opt1;
+        row.sweep.resize(threadsSweep.size());
         auto t0 = std::chrono::steady_clock::now();
-        const auto opt1 = core::analyzeDesign(design, spef, opt);
-        row.opt1Sec = seconds(t0);
-        const auto stats = cache.stats();
-        row.loadCurveRuns = stats.loadCurveRuns;
-        row.nrcRuns = stats.nrcRuns;
-        row.reports = opt1.size();
-
-        charlib::CharCache cache4;
-        opt.cache = &cache4;
-        opt.threads = 4;
-        t0 = std::chrono::steady_clock::now();
-        const auto opt4 = core::analyzeDesign(design, spef, opt);
-        row.opt4Sec = seconds(t0);
-        row.marginDiff = maxMarginDiff(opt1, opt4);
+        for (std::size_t k = 0; k < threadsSweep.size(); ++k) {
+            charlib::CharCache cache;
+            opt.cache = &cache;
+            opt.threads = threadsSweep[k];
+            t0 = std::chrono::steady_clock::now();
+            const auto rep = core::analyzeDesign(design, spef, opt);
+            row.sweep[k].threads = threadsSweep[k];
+            row.sweep[k].flatSec = seconds(t0);
+            if (k == 0) {
+                opt1 = rep;
+                const auto stats = cache.stats();
+                row.loadCurveRuns = stats.loadCurveRuns;
+                row.nrcRuns = stats.nrcRuns;
+                row.reports = rep.size();
+            } else {
+                row.marginDiff =
+                    std::max(row.marginDiff, maxMarginDiff(opt1, rep));
+            }
+            if (threadsSweep[k] == 1) row.opt1Sec = row.sweep[k].flatSec;
+            if (threadsSweep[k] == 4) row.opt4Sec = row.sweep[k].flatSec;
+        }
+        if (row.opt1Sec == 0.0) row.opt1Sec = row.sweep.front().flatSec;
+        if (row.opt4Sec == 0.0) row.opt4Sec = row.sweep.back().flatSec;
 
         if (n <= referenceMax) {
             t0 = std::chrono::steady_clock::now();
@@ -270,31 +318,63 @@ int main(int argc, char** argv) {
         row.levels =
             core::DesignIndex(chained, chainSpef).levels().levels.size();
 
+        // Propagated wavefront across the same thread sweep (task-graph
+        // scheduling); the max-thread run also reports its scheduler
+        // counters and is cross-checked bitwise against the level-barrier
+        // mode it replaced.
         core::DesignNoiseOptions popt = opt;
         popt.propagate = true;
-        charlib::CharCache pcache1;
-        popt.cache = &pcache1;
-        popt.threads = 1;
-        t0 = std::chrono::steady_clock::now();
-        const auto prop1 = core::analyzeDesign(chained, chainSpef, popt);
-        row.prop1Sec = seconds(t0);
-        row.propagationRuns = pcache1.stats().propagationRuns;
-        for (const auto& r : prop1) {
-            if (r.cluster.fails && !r.propagated.localFails) {
-                ++row.combinedOnlyFails;
+        std::vector<core::NetNoiseReport> prop1, propMax;
+        for (std::size_t k = 0; k < threadsSweep.size(); ++k) {
+            charlib::CharCache pcache;
+            popt.cache = &pcache;
+            popt.threads = threadsSweep[k];
+            util::SchedulerStats sched;
+            const bool last = k + 1 == threadsSweep.size();
+            popt.schedulerStats = last ? &sched : nullptr;
+            t0 = std::chrono::steady_clock::now();
+            const auto rep = core::analyzeDesign(chained, chainSpef, popt);
+            row.sweep[k].propSec = seconds(t0);
+            if (k == 0) {
+                prop1 = rep;
+                row.propagationRuns = pcache.stats().propagationRuns;
+                for (const auto& r : rep) {
+                    if (r.cluster.fails && !r.propagated.localFails) {
+                        ++row.combinedOnlyFails;
+                    }
+                    row.maxMarginDrop =
+                        std::max(row.maxMarginDrop,
+                                 r.propagated.localMargin - r.cluster.margin);
+                }
+            } else {
+                row.propMarginDiff = std::max(row.propMarginDiff,
+                                              maxMarginDiff(prop1, rep));
             }
-            row.maxMarginDrop =
-                std::max(row.maxMarginDrop,
-                         r.propagated.localMargin - r.cluster.margin);
+            if (threadsSweep[k] == 1) row.prop1Sec = row.sweep[k].propSec;
+            if (threadsSweep[k] == 4) row.prop4Sec = row.sweep[k].propSec;
+            if (last) {
+                propMax = rep;
+                row.schedTasks = sched.tasksExecuted;
+                row.schedSteals = sched.steals;
+                row.schedMaxReady = sched.maxReadyDepth;
+                row.schedBusy = sched.busyFraction;
+            }
         }
+        popt.schedulerStats = nullptr;
+        if (row.prop1Sec == 0.0) row.prop1Sec = row.sweep.front().propSec;
+        if (row.prop4Sec == 0.0) row.prop4Sec = row.sweep.back().propSec;
 
-        charlib::CharCache pcache4;
-        popt.cache = &pcache4;
-        popt.threads = 4;
-        t0 = std::chrono::steady_clock::now();
-        const auto prop4 = core::analyzeDesign(chained, chainSpef, popt);
-        row.prop4Sec = seconds(t0);
-        row.propMarginDiff = maxMarginDiff(prop1, prop4);
+        // Barrier cross-check at the max thread count: the dependency-
+        // counted scheduler must be bit-identical to the level barrier.
+        {
+            charlib::CharCache bcache;
+            popt.cache = &bcache;
+            popt.threads = threadsSweep.back();
+            popt.wavefront = core::WavefrontMode::levelBarrier;
+            const auto barrier = core::analyzeDesign(chained, chainSpef, popt);
+            row.barrierMarginDiff = maxMarginDiff(propMax, barrier);
+            popt.wavefront = core::WavefrontMode::taskGraph;
+        }
 
         // ---- timing-windows variant --------------------------------------
         // Disjoint switching slots in blocks of two (n0,n1 early; n2,n3
@@ -361,21 +441,42 @@ int main(int argc, char** argv) {
     std::printf("Design-scale noise analysis throughput\n\n%s\n",
                 table.str().c_str());
 
-    util::Table ptable({"Nets", "Levels", "Prop t=1 (s)", "Prop t=4 (s)",
-                        "Max |dMargin| t1 vs t4 (V)", "Prop-table runs",
-                        "Max margin drop (V)", "Combined-only fails"});
+    util::Table ptable({"Nets", "Levels", "Prop sweep t:s",
+                        "Max |dMargin| sweep (V)", "Barrier |dMargin| (V)",
+                        "Prop-table runs", "Max margin drop (V)",
+                        "Combined-only fails"});
     for (const auto& r : rows) {
+        std::ostringstream sw;
+        for (std::size_t k = 0; k < r.sweep.size(); ++k) {
+            sw << (k == 0 ? "" : " ") << r.sweep[k].threads << ":"
+               << util::Table::num(r.sweep[k].propSec, 2);
+        }
         ptable.addRow({std::to_string(r.nets), std::to_string(r.levels),
-                       util::Table::num(r.prop1Sec, 2),
-                       util::Table::num(r.prop4Sec, 2),
-                       util::Table::num(r.propMarginDiff, 12),
+                       sw.str(), util::Table::num(r.propMarginDiff, 12),
+                       util::Table::num(r.barrierMarginDiff, 12),
                        std::to_string(r.propagationRuns),
                        util::Table::num(r.maxMarginDrop, 3),
                        std::to_string(r.combinedOnlyFails)});
     }
     std::printf(
-        "Propagated-noise wavefront (chained design, %d chains)\n\n%s\n",
+        "Propagated-noise wavefront (chained design, %d chains, "
+        "task-graph scheduling)\n\n%s\n",
         chains, ptable.str().c_str());
+
+    util::Table stable({"Nets", "Tasks", "Steals", "Max ready depth",
+                        "Busy fraction / worker"});
+    for (const auto& r : rows) {
+        std::ostringstream busy;
+        for (std::size_t k = 0; k < r.schedBusy.size(); ++k) {
+            busy << (k == 0 ? "" : " ") << util::Table::num(r.schedBusy[k], 2);
+        }
+        stable.addRow({std::to_string(r.nets), std::to_string(r.schedTasks),
+                       std::to_string(r.schedSteals),
+                       std::to_string(r.schedMaxReady), busy.str()});
+    }
+    std::printf(
+        "Task-graph scheduler counters (max-thread propagate run)\n\n%s\n",
+        stable.str().c_str());
 
     util::Table wtable({"Nets", "Windowed t=1 (s)", "Excl aggs",
                         "Dropped glitches", "Worst unconstr margin (V)",
@@ -404,13 +505,31 @@ int main(int argc, char** argv) {
                 ? "null"
                 : util::Table::num(r.refSec / std::min(r.opt1Sec, r.opt4Sec),
                                    2);
+        std::ostringstream sweepJson;
+        for (std::size_t k = 0; k < r.sweep.size(); ++k) {
+            sweepJson << (k == 0 ? "" : ", ") << "{\"threads\": "
+                      << r.sweep[k].threads << ", \"flat_sec\": "
+                      << util::Table::num(r.sweep[k].flatSec, 4)
+                      << ", \"propagate_sec\": "
+                      << util::Table::num(r.sweep[k].propSec, 4) << "}";
+        }
+        std::ostringstream busyJson;
+        for (std::size_t k = 0; k < r.schedBusy.size(); ++k) {
+            busyJson << (k == 0 ? "" : ", ")
+                     << util::Table::num(r.schedBusy[k], 4);
+        }
         std::printf(
             "%s{\"nets\": %d, \"reports\": %zu, \"reference_sec\": %s, "
             "\"optimized_t1_sec\": %.4f, \"optimized_t4_sec\": %.4f, "
             "\"speedup\": %s, \"max_margin_diff\": %.3e, "
             "\"load_curve_runs\": %zu, \"nrc_runs\": %zu, "
+            "\"threads_sweep\": [%s], "
             "\"levels\": %zu, \"propagate_t1_sec\": %.4f, "
             "\"propagate_t4_sec\": %.4f, \"propagate_margin_diff\": %.3e, "
+            "\"barrier_margin_diff\": %.3e, "
+            "\"scheduler_tasks\": %zu, \"scheduler_steals\": %zu, "
+            "\"scheduler_max_ready_depth\": %zu, "
+            "\"scheduler_busy_fraction\": [%s], "
             "\"propagation_runs\": %zu, \"max_margin_drop\": %.4f, "
             "\"combined_only_fails\": %zu, \"windowed_t1_sec\": %.4f, "
             "\"window_excluded_aggressors\": %zu, "
@@ -420,7 +539,9 @@ int main(int argc, char** argv) {
             "\"max_margin_recovery\": %.4f}",
             i == 0 ? "" : ", ", r.nets, r.reports, refStr.c_str(), r.opt1Sec,
             r.opt4Sec, speedupStr.c_str(), r.marginDiff, r.loadCurveRuns,
-            r.nrcRuns, r.levels, r.prop1Sec, r.prop4Sec, r.propMarginDiff,
+            r.nrcRuns, sweepJson.str().c_str(), r.levels, r.prop1Sec,
+            r.prop4Sec, r.propMarginDiff, r.barrierMarginDiff, r.schedTasks,
+            r.schedSteals, r.schedMaxReady, busyJson.str().c_str(),
             r.propagationRuns, r.maxMarginDrop, r.combinedOnlyFails,
             r.windowed1Sec, r.windowExcludedAggressors,
             r.windowDroppedIncoming, r.worstUnconstrainedMargin,

@@ -195,6 +195,41 @@ void DesignIndex::buildGraph() const {
         levels_.levels.push_back(std::move(wave));
         wave = std::move(next);
     }
+    // ---- slot-addressed scheduled DAG -----------------------------------
+    // Task ids enumerate the nets level by level (levels are name-sorted),
+    // so ids are a topological order and each level is a contiguous id
+    // range. inAdj/outAdj at this point hold exactly the scheduled edges:
+    // cycle-broken edges were erased, duplicates never entered.
+    for (const auto& levelNets : levels_.levels) {
+        for (const auto& net : levelNets) {
+            taskGraph_.idOf.emplace(net,
+                                    static_cast<int>(taskGraph_.nets.size()));
+            taskGraph_.nets.push_back(net);
+        }
+    }
+    const int numTasks = static_cast<int>(taskGraph_.nets.size());
+    taskGraph_.faninIds.resize(numTasks);
+    taskGraph_.graph.fanout.resize(numTasks);
+    taskGraph_.graph.faninCount.assign(numTasks, 0);
+    for (int id = 0; id < numTasks; ++id) {
+        const std::string& net = taskGraph_.nets[id];
+        if (const auto in = inAdj.find(net); in != inAdj.end()) {
+            auto& fanin = taskGraph_.faninIds[id];
+            for (const auto& from : in->second) {
+                fanin.push_back(taskGraph_.idOf.at(from));
+            }
+            std::sort(fanin.begin(), fanin.end());
+            taskGraph_.graph.faninCount[id] = static_cast<int>(fanin.size());
+        }
+        if (const auto out = outAdj.find(net); out != outAdj.end()) {
+            auto& fanout = taskGraph_.graph.fanout[id];
+            for (const auto& to : out->second) {
+                fanout.push_back(taskGraph_.idOf.at(to));
+            }
+            std::sort(fanout.begin(), fanout.end());
+        }
+    }
+
     std::sort(levels_.brokenEdges.begin(), levels_.brokenEdges.end());
     levels_.brokenEdges.erase(
         std::unique(levels_.brokenEdges.begin(), levels_.brokenEdges.end()),
@@ -253,6 +288,11 @@ const std::vector<std::string>& DesignIndex::fanoutOf(
 const NetLevels& DesignIndex::levels() const {
     ensureGraph();
     return levels_;
+}
+
+const NetTaskGraph& DesignIndex::taskGraph() const {
+    ensureGraph();
+    return taskGraph_;
 }
 
 }  // namespace sna::core

@@ -34,6 +34,7 @@
 #include "core/sna.hpp"
 #include "core/timing_windows.hpp"
 #include "parser/spef_parser.hpp"
+#include "util/task_scheduler.hpp"
 
 namespace sna::core {
 
@@ -43,6 +44,24 @@ struct FaninEdge {
     std::string fromNet;
     const Instance* inst = nullptr;
     std::string pin;
+};
+
+/// Slot-addressed scheduling view of the level graph, for the
+/// dependency-counted wavefront: every net of the graph gets an integer
+/// task id in deterministic (level, name) order — so each level occupies a
+/// contiguous id range — and the fanin/fanout adjacency covers exactly the
+/// scheduled edges (cycle-broken edges excluded, duplicates collapsed).
+/// Task ids double as slots for per-net outputs, which is what makes the
+/// out-of-order task-graph wavefront bit-identical to the level barrier.
+struct NetTaskGraph {
+    std::vector<std::string> nets;  ///< task id -> net name
+    std::unordered_map<std::string, int> idOf;  ///< net name -> task id
+    /// Scheduled fanin task ids per task, ascending (always strictly lower
+    /// level). faninIds[i].size() == graph.faninCount[i].
+    std::vector<std::vector<int>> faninIds;
+    /// Dependency DAG for util::runTaskGraph (fanout adjacency ascending,
+    /// fanin counts).
+    util::TaskGraph graph;
 };
 
 /// The levelized net graph (Kahn waves over the driver->fanout edges).
@@ -104,6 +123,10 @@ public:
     /// graph query — the flat propagate=false sweep never pays for it.
     const NetLevels& levels() const;
 
+    /// The slot-addressed scheduled DAG over the same nets, built alongside
+    /// the levelization. Task ids enumerate nets in (level, name) order.
+    const NetTaskGraph& taskGraph() const;
+
 private:
     /// Builds fanin/fanout edges and the levelization; called once.
     void buildGraph() const;
@@ -125,6 +148,7 @@ private:
     mutable std::unordered_map<std::string, std::vector<std::string>>
         fanoutByNet_;
     mutable NetLevels levels_;
+    mutable NetTaskGraph taskGraph_;
 };
 
 }  // namespace sna::core

@@ -53,12 +53,24 @@ void mergeSurviving(SurvivingSet& set, const SurvivingGlitch& g) {
 std::vector<IncomingGlitch> selectIncoming(
     const DesignIndex& index, const std::string& net,
     const std::unordered_map<std::string, SurvivingSet>& surviving) {
+    return selectIncoming(
+        index, net,
+        [&surviving](const std::string& from) -> const SurvivingSet* {
+            const auto it = surviving.find(from);
+            return it == surviving.end() ? nullptr : &it->second;
+        });
+}
+
+std::vector<IncomingGlitch> selectIncoming(
+    const DesignIndex& index, const std::string& net,
+    const std::function<const SurvivingSet*(const std::string&)>&
+        survivingOf) {
     // Gather every (edge, glitch) candidate, then keep the Pareto front.
     std::vector<IncomingGlitch> cands;
     for (const auto& edge : index.faninOf(net)) {
-        const auto it = surviving.find(edge.fromNet);
-        if (it == surviving.end()) continue;
-        for (const auto& sg : it->second) {
+        const SurvivingSet* set = survivingOf(edge.fromNet);
+        if (set == nullptr) continue;
+        for (const auto& sg : *set) {
             IncomingGlitch in;
             in.height = sg.height;
             in.width = sg.width;

@@ -15,6 +15,7 @@
 // ClusterSpec::glitchWidth expects.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,6 +63,16 @@ struct IncomingGlitch {
 std::vector<IncomingGlitch> selectIncoming(
     const DesignIndex& index, const std::string& net,
     const std::unordered_map<std::string, SurvivingSet>& surviving);
+
+/// Accessor-based variant for slot-addressed storage: `survivingOf(fromNet)`
+/// returns the upstream net's surviving front, or nullptr when that net has
+/// none (or, in the task-graph wavefront, when the edge is not a scheduled
+/// dependency — a cycle-broken fanin must contribute nothing, exactly as it
+/// never could under the level barrier). Same selection semantics.
+std::vector<IncomingGlitch> selectIncoming(
+    const DesignIndex& index, const std::string& net,
+    const std::function<const SurvivingSet*(const std::string&)>&
+        survivingOf);
 
 /// Estimate the glitch transferred through `cell` (input `pin` -> output)
 /// with the pre-characterized propagation tables, evaluated at the worse of

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -300,20 +301,32 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
 
     std::vector<NetNoiseReport> reports(work.size());
 
+    // One pool per analyzeDesign call, shared by every sweep below: the old
+    // per-level parallelFor constructed and joined a fresh ThreadPool at
+    // every level, and that thread churn dominated the wavefront's runtime.
+    std::unique_ptr<util::ThreadPool> pool;
+    if (opt.threads > 1) {
+        pool = std::make_unique<util::ThreadPool>(opt.threads);
+    }
+
     if (!opt.propagate) {
         // ---- phase 2, flat (parallel): one independent cluster solve per
         // victim. Slot i holds net i's report, so ordering stays SPEF order
         // at any thread count.
-        util::parallelFor(opt.threads, static_cast<int>(work.size()),
+        util::parallelFor(pool.get(), static_cast<int>(work.size()),
                           [&](int i) {
                               reports[i] = solveVictim(work[i], {}, nullptr);
                           });
         return reports;
     }
 
-    // ---- phase 2, wavefront: levels of the design graph run in order, so
-    // every net's upstream glitch is recorded before its own stage solves;
-    // nets within a level are independent and solve in parallel. Victim
+    // ---- phase 2, wavefront: one task per net of the design graph, run
+    // either as a dependency-counted task graph (default — a net solves the
+    // moment its fanin nets finish) or level-by-level behind a barrier (the
+    // validation baseline). Either way every per-net output is
+    // slot-addressed — reports by victim slot, surviving fronts and quiet
+    // reports by task id — and a task reads nothing but its scheduled
+    // fanins' slots, so completion order cannot change a single bit. Victim
     // clusters write their report slot (SPEF order is preserved because the
     // slots were allocated in phase 1); quiet pass-through nets carry noise
     // forward through the cached propagation tables.
@@ -321,8 +334,6 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
     for (std::size_t i = 0; i < work.size(); ++i) {
         slotOf.emplace(*work[i].net, static_cast<int>(i));
     }
-    std::unordered_map<std::string, SurvivingSet> surviving;
-    std::vector<NetNoiseReport> passThrough;
 
     // ---- switching windows (FRAME-style temporal correlation) -----------
     // Propagated once over the whole level graph before any cluster
@@ -339,131 +350,150 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                                       : TimingWindow::unbounded();
     };
 
-    for (const auto& levelNets : index.levels().levels) {
-        struct LevelItem {
-            const std::string* net = nullptr;
-            int slot = -1;  ///< work index, or -1 for a pass-through net
-            std::vector<IncomingGlitch> incoming;
-            // Windows mode only:
-            TimingWindow sens;  ///< the net's own (sensitivity) window
-            std::vector<char> dropped;  ///< per incoming: window-dropped
-            std::vector<TimingWindow> incomingWindows;  ///< per incoming
-            std::vector<TimingWindow> aggWindows;  ///< per ranked aggressor
-            std::vector<std::string> excludedAggressors;
-            /// False when every window involved is unbounded and nothing
-            /// was dropped: the constrained run would equal the
-            /// unconstrained one, so a single solve serves both margins.
-            bool constraining = false;
+    const NetTaskGraph& tg = index.taskGraph();
+    const int numNets = static_cast<int>(tg.nets.size());
+    // Slot-addressed per-net outputs: task id -> the net's surviving front /
+    // its propagated-only report. Written only by the net's own task, read
+    // only by tasks downstream of it, so no completion order can race.
+    std::vector<SurvivingSet> surviving(
+        static_cast<std::size_t>(numNets));
+    std::vector<std::optional<NetNoiseReport>> quietReports(
+        static_cast<std::size_t>(numNets));
+
+    const auto solveNet = [&](int id) {
+        const std::string& net = tg.nets[id];
+        // Surviving fronts are visible over scheduled fanin edges only. A
+        // cycle-broken fanin sits at the same or a later level, so under
+        // the barrier it was never committed when this net solved — the
+        // task graph must reproduce exactly that (and must not read a slot
+        // another in-flight task may be writing).
+        const std::vector<int>& faninIds =
+            tg.faninIds[static_cast<std::size_t>(id)];
+        const auto survivingOf =
+            [&](const std::string& from) -> const SurvivingSet* {
+            const auto it = tg.idOf.find(from);
+            if (it == tg.idOf.end() ||
+                !std::binary_search(faninIds.begin(), faninIds.end(),
+                                    it->second)) {
+                return nullptr;
+            }
+            const SurvivingSet& s =
+                surviving[static_cast<std::size_t>(it->second)];
+            return s.empty() ? nullptr : &s;
         };
-        std::vector<LevelItem> items;
-        for (const auto& net : levelNets) {
-            LevelItem item;
-            item.net = &net;
-            item.incoming = selectIncoming(index, net, surviving);
-            const auto sit = slotOf.find(net);
-            if (sit != slotOf.end()) {
-                item.slot = sit->second;
-            } else if (item.incoming.empty() ||
-                       (index.fanoutOf(net).empty() &&
-                        index.loadsOf(net).empty())) {
-                // Quiet non-victim net, or a leaf with neither downstream
-                // nets nor a receiver to check: nothing to do. (A loaded
-                // net with no fanout still needs the NRC check below.)
-                continue;
-            }
-            if (useWindows) {
-                item.sens = windowAt(net);
-                for (const IncomingGlitch& in : item.incoming) {
-                    // The incoming glitch can only collide with this net
-                    // where its carrier's window overlaps the victim's
-                    // sensitivity interval — and, for victim clusters, only
-                    // if that overlap leaves a feasible onset inside the
-                    // simulation horizon (mirrors runClusterBothLevels).
-                    const TimingWindow ov =
-                        windowAt(in.fromNet).intersect(item.sens);
-                    bool drop = ov.empty();
-                    if (!drop && item.slot >= 0 && ov.bounded()) {
-                        const double base = 2.0 * in.width;
-                        const double tstopRun =
-                            std::max(opt.tstop, 6.0 * base);
-                        const double lo = std::max(0.0, ov.earliest - base);
-                        const double hi =
-                            std::min(0.8 * tstopRun, ov.latest);
-                        drop = lo > hi;
-                    }
-                    item.dropped.push_back(drop ? 1 : 0);
-                    item.incomingWindows.push_back(ov);
-                    if (drop || ov.bounded()) item.constraining = true;
-                }
-                if (item.slot >= 0) {
-                    for (const auto& [drvCell, agg] :
-                         work[item.slot].ranked) {
-                        const TimingWindow ov =
-                            windowAt(agg).intersect(item.sens);
-                        item.aggWindows.push_back(ov);
-                        if (ov.bounded() || ov.empty()) {
-                            item.constraining = true;
-                        }
-                        if (ov.empty()) {
-                            item.excludedAggressors.push_back(agg);
-                        }
-                    }
-                }
-            }
-            items.push_back(std::move(item));
+
+        const std::vector<IncomingGlitch> incoming =
+            selectIncoming(index, net, survivingOf);
+        int slot = -1;  ///< work index, or -1 for a pass-through net
+        if (const auto sit = slotOf.find(net); sit != slotOf.end()) {
+            slot = sit->second;
+        } else if (incoming.empty() || (index.fanoutOf(net).empty() &&
+                                        index.loadsOf(net).empty())) {
+            // Quiet non-victim net, or a leaf with neither downstream
+            // nets nor a receiver to check: nothing to do. (A loaded
+            // net with no fanout still needs the NRC check below.)
+            return;
         }
 
-        std::vector<SurvivingSet> produced(items.size());
-        std::vector<std::optional<NetNoiseReport>> quietReports(items.size());
-        util::parallelFor(
-            opt.threads, static_cast<int>(items.size()), [&](int k) {
-                const LevelItem& item = items[k];
-                if (item.slot >= 0) {
+        // Windows mode only:
+        TimingWindow sens;  ///< the net's own (sensitivity) window
+        std::vector<char> dropped;  ///< per incoming: window-dropped
+        std::vector<TimingWindow> incomingWindows;  ///< per incoming
+        std::vector<TimingWindow> aggWindows;  ///< per ranked aggressor
+        std::vector<std::string> excludedAggressors;
+        /// False when every window involved is unbounded and nothing was
+        /// dropped: the constrained run would equal the unconstrained one,
+        /// so a single solve serves both margins.
+        bool constraining = false;
+        if (useWindows) {
+            sens = windowAt(net);
+            for (const IncomingGlitch& in : incoming) {
+                // The incoming glitch can only collide with this net
+                // where its carrier's window overlaps the victim's
+                // sensitivity interval — and, for victim clusters, only
+                // if that overlap leaves a feasible onset inside the
+                // simulation horizon (mirrors runClusterBothLevels).
+                const TimingWindow ov =
+                    windowAt(in.fromNet).intersect(sens);
+                bool drop = ov.empty();
+                if (!drop && slot >= 0 && ov.bounded()) {
+                    const double base = 2.0 * in.width;
+                    const double tstopRun =
+                        std::max(opt.tstop, 6.0 * base);
+                    const double lo = std::max(0.0, ov.earliest - base);
+                    const double hi =
+                        std::min(0.8 * tstopRun, ov.latest);
+                    drop = lo > hi;
+                }
+                dropped.push_back(drop ? 1 : 0);
+                incomingWindows.push_back(ov);
+                if (drop || ov.bounded()) constraining = true;
+            }
+            if (slot >= 0) {
+                for (const auto& [drvCell, agg] : work[slot].ranked) {
+                    const TimingWindow ov = windowAt(agg).intersect(sens);
+                    aggWindows.push_back(ov);
+                    if (ov.bounded() || ov.empty()) {
+                        constraining = true;
+                    }
+                    if (ov.empty()) {
+                        excludedAggressors.push_back(agg);
+                    }
+                }
+            }
+        }
+
+        SurvivingSet produced;
+        // The solve proper, wrapped so its early returns still fall
+        // through to the publish step below (a pass-through net can feed
+        // its front downstream even when it has no receiver to report on).
+        const auto solveBody = [&] {
+                if (slot >= 0) {
                     if (!useWindows) {
                         // Every run's output (local and per-candidate
                         // combined) joins the net's surviving front: a
                         // non-governing candidate can still leave the
                         // wider glitch.
-                        reports[item.slot] = solveVictim(
-                            work[item.slot], item.incoming, &produced[k]);
+                        reports[slot] = solveVictim(
+                            work[slot], incoming, &produced);
                         return;
                     }
-                    if (!item.constraining) {
+                    if (!constraining) {
                         // Every involved window is unbounded and nothing
                         // was dropped: the constrained run would be the
                         // unconstrained run. Solve once, report the margin
                         // as both.
                         NetNoiseReport r = solveVictim(
-                            work[item.slot], item.incoming, &produced[k]);
+                            work[slot], incoming, &produced);
                         r.windows.constrained = true;
-                        r.windows.window = item.sens;
+                        r.windows.window = sens;
                         r.windows.unconstrainedMargin = r.cluster.margin;
                         r.windows.windowedMargin = r.cluster.margin;
-                        reports[item.slot] = std::move(r);
+                        reports[slot] = std::move(r);
                         return;
                     }
                     // Windows mode: the unconstrained run first (the PR 2
                     // pessimistic verdict, reported for comparison), then
                     // the window-constrained run that governs the verdict
                     // and feeds the surviving front downstream.
-                    NetNoiseReport unc = solveVictim(work[item.slot],
-                                                     item.incoming, nullptr);
+                    NetNoiseReport unc = solveVictim(work[slot],
+                                                     incoming, nullptr);
                     std::vector<IncomingGlitch> kept;
                     std::vector<TimingWindow> keptWindows;
                     std::vector<std::string> droppedFrom;
-                    for (std::size_t i = 0; i < item.incoming.size(); ++i) {
-                        if (item.dropped[i] != 0) {
-                            droppedFrom.push_back(item.incoming[i].fromNet);
+                    for (std::size_t i = 0; i < incoming.size(); ++i) {
+                        if (dropped[i] != 0) {
+                            droppedFrom.push_back(incoming[i].fromNet);
                             continue;
                         }
-                        kept.push_back(item.incoming[i]);
-                        keptWindows.push_back(item.incomingWindows[i]);
+                        kept.push_back(incoming[i]);
+                        keptWindows.push_back(incomingWindows[i]);
                     }
                     NetNoiseReport win = solveVictim(
-                        work[item.slot], kept, &produced[k],
-                        &item.aggWindows, &keptWindows);
+                        work[slot], kept, &produced,
+                        &aggWindows, &keptWindows);
                     win.windows.constrained = true;
-                    win.windows.window = item.sens;
+                    win.windows.window = sens;
                     win.windows.unconstrainedMargin = unc.cluster.margin;
                     win.windows.windowedMargin = win.cluster.margin;
                     // Exclusions are recorded from two places: empty
@@ -471,16 +501,13 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                     // governing run's search had to hold quiet because the
                     // overlap left no feasible INPUT switch time once
                     // mapped through that run's delay/slew (+inf times).
-                    std::vector<std::string> excluded =
-                        item.excludedAggressors;
+                    std::vector<std::string> excluded = excludedAggressors;
                     const auto& times = win.cluster.aggressorSwitchTimes;
                     for (std::size_t a = 0;
-                         a < times.size() &&
-                         a < work[item.slot].ranked.size();
+                         a < times.size() && a < work[slot].ranked.size();
                          ++a) {
                         if (std::isinf(times[a])) {
-                            excluded.push_back(
-                                work[item.slot].ranked[a].second);
+                            excluded.push_back(work[slot].ranked[a].second);
                         }
                     }
                     std::sort(excluded.begin(), excluded.end());
@@ -493,10 +520,10 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                         std::unique(droppedFrom.begin(), droppedFrom.end()),
                         droppedFrom.end());
                     win.windows.droppedIncoming = std::move(droppedFrom);
-                    reports[item.slot] = std::move(win);
+                    reports[slot] = std::move(win);
                     return;
                 }
-                const Instance* drv = index.driverOf(*item.net);
+                const Instance* drv = index.driverOf(net);
                 // Pass-through items always have fanin edges, and fanin
                 // edges are only built through a net's driver.
                 SNA_REQUIRE(drv != nullptr,
@@ -514,9 +541,9 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                 std::vector<Transfer> transfers;
                 std::vector<Transfer> allTransfers;  // windows mode only
                 std::vector<std::string> droppedFrom;
-                for (std::size_t i = 0; i < item.incoming.size(); ++i) {
-                    const IncomingGlitch& in = item.incoming[i];
-                    const bool drop = useWindows && item.dropped[i] != 0;
+                for (std::size_t i = 0; i < incoming.size(); ++i) {
+                    const IncomingGlitch& in = incoming[i];
+                    const bool drop = useWindows && dropped[i] != 0;
                     // Every window-dropped candidate is recorded, whether
                     // or not its transfer would have cleared the height
                     // filter — same accounting as the victim branch.
@@ -532,14 +559,14 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                     if (useWindows) allTransfers.push_back(t);
                     if (drop) continue;
                     transfers.push_back(t);
-                    mergeSurviving(produced[k], t.sg);
+                    mergeSurviving(produced, t.sg);
                 }
                 // A quiet pass-through net has no cluster, but its receiver
                 // still sees the propagated glitch: check it against the
                 // NRC and report, so a propagated-only failure on an
                 // uncoupled net is not silently missed. The worst (minimum)
                 // margin over a transfer set, both holding levels each:
-                const auto& loads = index.loadsOf(*item.net);
+                const auto& loads = index.loadsOf(net);
                 struct Scan {
                     ClusterReport cluster;
                     const IncomingGlitch* governing = nullptr;
@@ -578,7 +605,7 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                     return;
                 }
                 NetNoiseReport pr;
-                pr.net = *item.net;
+                pr.net = net;
                 if (!transfers.empty()) {
                     Scan s = nrcScan(transfers);
                     pr.cluster = std::move(s.cluster);
@@ -600,7 +627,7 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                         unc = nrcScan(allTransfers);
                     }
                     pr.windows.constrained = true;
-                    pr.windows.window = item.sens;
+                    pr.windows.window = sens;
                     pr.windows.unconstrainedMargin = unc.cluster.margin;
                     if (transfers.empty()) {
                         // Every candidate was window-dropped: no noise
@@ -624,31 +651,51 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                 pr.propagated.localNrcLimit = pr.cluster.nrcLimit;
                 pr.propagated.localMargin = pr.cluster.nrcLimit;
                 pr.propagated.localFails = false;
-                quietReports[k] = std::move(pr);
-            });
-        // Commit surviving glitches and quiet-net reports serially
-        // (deterministic at any thread count: the produced values depend
-        // only on prior levels, and slot k holds net k's results).
-        for (std::size_t k = 0; k < items.size(); ++k) {
-            SurvivingSet kept;
-            for (const SurvivingGlitch& sg : produced[k]) {
-                if (sg.height >= opt.propagateMinHeight && sg.width > 0.0) {
-                    kept.push_back(sg);
-                }
-            }
-            if (quietReports[k].has_value()) {
-                passThrough.push_back(std::move(*quietReports[k]));
-            }
-            if (!kept.empty()) {
-                surviving.emplace(*items[k].net, std::move(kept));
+                quietReports[static_cast<std::size_t>(id)] = std::move(pr);
+        };
+        solveBody();
+
+        // Publish this net's surviving front into its slot (the per-level
+        // serial commit of the barrier wavefront, now owned by the task):
+        // the height filter runs here so downstream tasks — which may
+        // already be running in task-graph mode — only ever see the final
+        // value after their dependency count reaches zero.
+        SurvivingSet kept;
+        for (const SurvivingGlitch& sg : produced) {
+            if (sg.height >= opt.propagateMinHeight && sg.width > 0.0) {
+                kept.push_back(sg);
             }
         }
+        surviving[static_cast<std::size_t>(id)] = std::move(kept);
+    };
+
+    if (opt.wavefront == WavefrontMode::levelBarrier) {
+        // Validation baseline: levels run in order with a full join between
+        // them. Task ids are (level, name)-ordered, so each level is the
+        // contiguous id range [base, base + levelNets.size()).
+        int base = 0;
+        for (const auto& levelNets : index.levels().levels) {
+            const int len = static_cast<int>(levelNets.size());
+            util::parallelFor(pool.get(), len,
+                              [&](int k) { solveNet(base + k); });
+            base += len;
+        }
+    } else {
+        // Dependency-counted task graph: the whole ready frontier runs at
+        // once; a net unlocks its fanouts the moment it publishes.
+        util::SchedulerStats stats =
+            util::runTaskGraph(tg.graph, solveNet, pool.get());
+        if (opt.schedulerStats != nullptr) {
+            *opt.schedulerStats = std::move(stats);
+        }
     }
+
     // Propagated-only entries for quiet nets follow the SPEF-ordered victim
-    // reports, in level-then-name order (deterministic).
-    reports.insert(reports.end(),
-                   std::make_move_iterator(passThrough.begin()),
-                   std::make_move_iterator(passThrough.end()));
+    // reports, in level-then-name (== task id) order (deterministic).
+    for (int id = 0; id < numNets; ++id) {
+        auto& pr = quietReports[static_cast<std::size_t>(id)];
+        if (pr.has_value()) reports.push_back(std::move(*pr));
+    }
     return reports;
 }
 

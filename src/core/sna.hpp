@@ -15,6 +15,7 @@
 #include "core/report.hpp"
 #include "core/timing_windows.hpp"
 #include "parser/spef_parser.hpp"
+#include "util/task_scheduler.hpp"
 
 namespace sna::core {
 
@@ -105,6 +106,20 @@ struct NetNoiseReport {
     std::vector<std::string> otherDrivers;
 };
 
+/// How the propagated-noise wavefront is scheduled. Either way the results
+/// are bit-identical at any thread count: per-net outputs are slot-addressed
+/// and every task reads nothing but its scheduled fanins' slots.
+enum class WavefrontMode {
+    /// Dependency-counted task graph (default): a net's cluster solves the
+    /// moment its last fanin net finishes, workers pull from per-worker
+    /// deques with work-stealing, and no level barrier ever forms — deep
+    /// narrow levels no longer serialize the machine.
+    taskGraph,
+    /// The PR 2 per-level barrier (levels run in order, full join between
+    /// levels). Kept as the validation baseline for the scheduler.
+    levelBarrier,
+};
+
 struct DesignNoiseOptions {
     double tstop = 2.5e-9;
     std::size_t maxAggressors = 3;  ///< strongest-coupled first
@@ -133,6 +148,12 @@ struct DesignNoiseOptions {
     /// or all-unbounded windows — reproduces the pure worst-alignment
     /// wavefront.
     const TimingWindows* windows = nullptr;
+    /// Wavefront scheduling (propagate == true only); see WavefrontMode.
+    WavefrontMode wavefront = WavefrontMode::taskGraph;
+    /// When non-null, the task-graph wavefront writes its scheduler counters
+    /// (tasks executed, steals, ready-frontier high water, per-worker busy
+    /// fractions) here; untouched by the flat sweep and the barrier mode.
+    util::SchedulerStats* schedulerStats = nullptr;
 };
 
 /// Analyze every SPEF net that has coupling capacitance and a driver and at

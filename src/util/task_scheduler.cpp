@@ -1,0 +1,238 @@
+#include "util/task_scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sna::util {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Cheap Kahn walk over the counts alone (no task bodies): proves the graph
+/// acyclic before any worker blocks on a dependency that can never resolve.
+void requireAcyclic(const TaskGraph& graph) {
+    const int n = graph.size();
+    SNA_REQUIRE(static_cast<int>(graph.fanout.size()) == n,
+                "task graph fanout/faninCount size mismatch");
+    std::vector<int> pending = graph.faninCount;
+    std::vector<int> stack;
+    for (int i = 0; i < n; ++i) {
+        SNA_REQUIRE(pending[i] >= 0, "task graph has a negative fanin count");
+        if (pending[i] == 0) stack.push_back(i);
+    }
+    int done = 0;
+    while (!stack.empty()) {
+        const int t = stack.back();
+        stack.pop_back();
+        ++done;
+        for (const int d : graph.fanout[t]) {
+            SNA_REQUIRE(d >= 0 && d < n, "task graph edge out of range");
+            if (--pending[d] == 0) stack.push_back(d);
+        }
+    }
+    SNA_REQUIRE(done == n, "task graph has a cycle");
+}
+
+/// One worker's ready deque. A plain mutex per deque is deliberate: wavefront
+/// tasks are milliseconds of numerical work, so queue ops are noise and the
+/// lock keeps the stealing protocol obviously correct (and TSan-clean).
+struct WorkerDeque {
+    std::mutex mu;
+    std::deque<int> dq;
+};
+
+}  // namespace
+
+SchedulerStats runTaskGraph(const TaskGraph& graph,
+                            const std::function<void(int)>& run,
+                            ThreadPool* pool) {
+    requireAcyclic(graph);
+    const int n = graph.size();
+    SchedulerStats stats;
+    if (n == 0) return stats;
+
+    if (pool == nullptr || pool->size() <= 1) {
+        // Serial: deterministic Kahn order — ready queue FIFO, seeded and
+        // relaxed in index order.
+        std::vector<int> pending = graph.faninCount;
+        std::deque<int> ready;
+        for (int i = 0; i < n; ++i) {
+            if (pending[i] == 0) ready.push_back(i);
+        }
+        stats.maxReadyDepth = ready.size();
+        while (!ready.empty()) {
+            const int t = ready.front();
+            ready.pop_front();
+            run(t);
+            ++stats.tasksExecuted;
+            for (const int d : graph.fanout[t]) {
+                if (--pending[d] == 0) ready.push_back(d);
+            }
+            stats.maxReadyDepth = std::max(stats.maxReadyDepth, ready.size());
+        }
+        stats.busyFraction = {1.0};
+        return stats;
+    }
+
+    const int workers = pool->size();
+    std::vector<std::unique_ptr<WorkerDeque>> deques;
+    for (int w = 0; w < workers; ++w) {
+        deques.push_back(std::make_unique<WorkerDeque>());
+    }
+
+    // One atomic per task: unfinished fanins. fetch_sub publishes the
+    // finishing task's slot writes to whichever worker later claims the
+    // dependent (the deque mutexes extend the chain).
+    std::vector<std::atomic<int>> pending(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        pending[static_cast<std::size_t>(i)].store(graph.faninCount[i],
+                                                   std::memory_order_relaxed);
+    }
+
+    std::atomic<int> remaining{n};
+    std::atomic<std::size_t> readyCount{0};
+    std::atomic<std::size_t> maxReady{0};
+    std::atomic<std::size_t> steals{0};
+    std::atomic<std::size_t> executed{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errorMu;
+    // Idle workers nap here. Pushers bump readyCount first, then take the
+    // mutex (empty critical section) before notifying: a waiter that saw
+    // readyCount == 0 is either still holding the mutex (and will re-check)
+    // or already napping (and gets the notify) — no lost wakeup.
+    std::mutex idleMu;
+    std::condition_variable idleCv;
+
+    const auto push = [&](int self, int task) {
+        {
+            WorkerDeque& d = *deques[static_cast<std::size_t>(self)];
+            const std::lock_guard<std::mutex> lock(d.mu);
+            d.dq.push_back(task);
+        }
+        const std::size_t depth = readyCount.fetch_add(1) + 1;
+        std::size_t prev = maxReady.load();
+        while (depth > prev && !maxReady.compare_exchange_weak(prev, depth)) {
+        }
+        { const std::lock_guard<std::mutex> lock(idleMu); }
+        idleCv.notify_one();
+    };
+
+    // Seed the roots round-robin so the frontier starts spread out.
+    {
+        int next = 0;
+        for (int i = 0; i < n; ++i) {
+            if (graph.faninCount[i] == 0) {
+                WorkerDeque& d = *deques[static_cast<std::size_t>(next)];
+                const std::lock_guard<std::mutex> lock(d.mu);
+                d.dq.push_back(i);
+                next = (next + 1) % workers;
+                readyCount.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        maxReady.store(readyCount.load());
+    }
+
+    std::vector<double> busy(static_cast<std::size_t>(workers), 0.0);
+    std::vector<double> wall(static_cast<std::size_t>(workers), 0.0);
+
+    const auto workerBody = [&](int self) {
+        const auto started = Clock::now();
+        double busySec = 0.0;
+        const auto tryClaim = [&]() -> int {
+            {
+                WorkerDeque& own = *deques[static_cast<std::size_t>(self)];
+                const std::lock_guard<std::mutex> lock(own.mu);
+                if (!own.dq.empty()) {
+                    const int t = own.dq.back();  // LIFO: warmest task
+                    own.dq.pop_back();
+                    return t;
+                }
+            }
+            for (int k = 1; k < workers; ++k) {
+                WorkerDeque& victim =
+                    *deques[static_cast<std::size_t>((self + k) % workers)];
+                const std::lock_guard<std::mutex> lock(victim.mu);
+                if (!victim.dq.empty()) {
+                    const int t = victim.dq.front();  // FIFO steal: coldest
+                    victim.dq.pop_front();
+                    steals.fetch_add(1, std::memory_order_relaxed);
+                    return t;
+                }
+            }
+            return -1;
+        };
+        while (remaining.load() > 0) {
+            const int t = tryClaim();
+            if (t < 0) {
+                std::unique_lock<std::mutex> lock(idleMu);
+                idleCv.wait(lock, [&] {
+                    return readyCount.load() > 0 || remaining.load() == 0;
+                });
+                continue;
+            }
+            readyCount.fetch_sub(1);
+            const auto t0 = Clock::now();
+            if (!failed.load(std::memory_order_relaxed)) {
+                try {
+                    run(t);
+                } catch (...) {
+                    failed.store(true, std::memory_order_relaxed);
+                    const std::lock_guard<std::mutex> lock(errorMu);
+                    if (!firstError) firstError = std::current_exception();
+                }
+            }
+            busySec += secondsSince(t0);
+            executed.fetch_add(1, std::memory_order_relaxed);
+            for (const int d : graph.fanout[t]) {
+                if (pending[static_cast<std::size_t>(d)].fetch_sub(1) == 1) {
+                    push(self, d);
+                }
+            }
+            if (remaining.fetch_sub(1) == 1) {
+                // Last task: wake every napping worker so the run drains.
+                { const std::lock_guard<std::mutex> lock(idleMu); }
+                idleCv.notify_all();
+            }
+        }
+        const double wallSec = secondsSince(started);
+        busy[static_cast<std::size_t>(self)] = busySec;
+        wall[static_cast<std::size_t>(self)] = wallSec;
+    };
+
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        jobs.push_back([&workerBody, w] { workerBody(w); });
+    }
+    pool->runBatch(std::move(jobs));
+    pool->wait();
+    if (firstError) std::rethrow_exception(firstError);
+
+    stats.tasksExecuted = executed.load();
+    stats.steals = steals.load();
+    stats.maxReadyDepth = maxReady.load();
+    stats.busyFraction.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        const double ws = wall[static_cast<std::size_t>(w)];
+        stats.busyFraction.push_back(
+            ws > 0.0 ? busy[static_cast<std::size_t>(w)] / ws : 0.0);
+    }
+    return stats;
+}
+
+}  // namespace sna::util

@@ -1,0 +1,70 @@
+// Dependency-counted task-graph scheduler for irregular-DAG parallelism.
+//
+// The level-barrier wavefront ("run level L, join, run level L+1") leaves
+// workers idle whenever a level is narrower than the machine: a deep chain
+// with a few nets per level serializes everything on the barrier. This
+// scheduler runs the whole ready frontier instead, Galois-style: every task
+// carries an atomic count of unfinished fanin tasks, a finishing task
+// decrements its fanouts and enqueues any that hit zero, and workers pull
+// from per-worker deques (LIFO for locality) with FIFO work-stealing when
+// their own deque drains. No barrier ever forms — a task starts the moment
+// its last dependency finishes.
+//
+// Determinism contract: the scheduler guarantees only that a task runs
+// after all its fanins and exactly once. Callers that need bit-identical
+// results at any thread count (the noise wavefront does) must make each
+// task write slot-addressed outputs and read nothing but its fanins' slots;
+// then completion order cannot change any value.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace sna::util {
+
+class ThreadPool;
+
+/// A dependency DAG over tasks 0..n-1. fanout[i] lists the tasks that
+/// cannot start until i finishes; faninCount[i] is the number of tasks i
+/// waits for (the in-degree under the same edge set). The graph must be
+/// acyclic — runTaskGraph validates and throws LogicError on a cycle.
+struct TaskGraph {
+    std::vector<std::vector<int>> fanout;
+    std::vector<int> faninCount;
+
+    int size() const { return static_cast<int>(faninCount.size()); }
+};
+
+/// Counters from one runTaskGraph call, for bench observability.
+struct SchedulerStats {
+    std::size_t tasksExecuted = 0;  ///< == graph.size() on success
+    std::size_t steals = 0;  ///< tasks taken from another worker's deque
+    /// High-water mark of the global ready frontier (tasks enqueued across
+    /// every deque at one instant). 1 on a pure chain; ~width of the
+    /// widest wave on a level-structured graph.
+    std::size_t maxReadyDepth = 0;
+    /// Per-worker fraction of its wall time spent inside task bodies
+    /// (1.0 = never idle). One entry per pool worker; {1.0} when serial.
+    std::vector<double> busyFraction;
+};
+
+/// Execute run(i) for every task of `graph`, each after all its fanins.
+///
+/// With `pool == nullptr` or a single-worker pool the tasks run inline in
+/// deterministic Kahn order (ready queue FIFO, seeded and relaxed in index
+/// order). Otherwise every pool worker runs a scheduling loop: own deque
+/// first (newest-first — the task just unlocked, its inputs still warm),
+/// then round-robin steals (oldest-first), then a condition-variable nap
+/// until work appears or the run drains. The pool must be otherwise idle;
+/// completion is detected with ThreadPool::wait().
+///
+/// Exceptions: the first exception thrown by any task is rethrown on the
+/// calling thread after the run drains; once a task has thrown, the bodies
+/// of not-yet-started tasks are skipped (their dependents still unlock, so
+/// the run terminates). Throws LogicError if the graph has a cycle.
+SchedulerStats runTaskGraph(const TaskGraph& graph,
+                            const std::function<void(int)>& run,
+                            ThreadPool* pool = nullptr);
+
+}  // namespace sna::util

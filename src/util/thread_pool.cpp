@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -30,6 +31,15 @@ void ThreadPool::run(std::function<void()> job) {
     wake_.notify_one();
 }
 
+void ThreadPool::runBatch(std::vector<std::function<void()>> jobs) {
+    if (jobs.empty()) return;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        for (auto& job : jobs) queue_.push(std::move(job));
+    }
+    wake_.notify_all();
+}
+
 void ThreadPool::wait() {
     std::unique_lock<std::mutex> lock(mu_);
     idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
@@ -55,10 +65,9 @@ void ThreadPool::workerLoop() {
     }
 }
 
-void parallelFor(int threads, int n, const std::function<void(int)>& fn) {
+void parallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn) {
     if (n <= 0) return;
-    if (threads > n) threads = n;
-    if (threads <= 1) {
+    if (pool == nullptr || pool->size() <= 1 || n == 1) {
         for (int i = 0; i < n; ++i) fn(i);
         return;
     }
@@ -79,10 +88,26 @@ void parallelFor(int threads, int n, const std::function<void(int)>& fn) {
         }
     };
 
-    ThreadPool pool(threads);
-    for (int t = 0; t < threads; ++t) pool.run(worker);
-    pool.wait();
+    const int workers = std::min(pool->size(), n);
+    std::vector<std::function<void()>> jobs(static_cast<std::size_t>(workers),
+                                            worker);
+    pool->runBatch(std::move(jobs));
+    pool->wait();
     if (firstError) std::rethrow_exception(firstError);
+}
+
+void parallelFor(int threads, int n, const std::function<void(int)>& fn) {
+    if (n <= 0) return;
+    if (threads > n) threads = n;
+    if (threads <= 1) {
+        for (int i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    // Thin wrapper over the pool-reuse overload; callers that sweep more
+    // than once should own the pool themselves and skip the per-call
+    // construct/join churn.
+    ThreadPool pool(threads);
+    parallelFor(&pool, n, fn);
 }
 
 }  // namespace sna::util

@@ -33,6 +33,11 @@ public:
     /// parallelFor, which captures the first exception and rethrows it).
     void run(std::function<void()> job);
 
+    /// Enqueue a batch of jobs under one lock acquisition and a single
+    /// notify_all: a fan-out of N tasks pays one queue round trip instead
+    /// of N lock+notify cycles. Same job contract as run().
+    void runBatch(std::vector<std::function<void()>> jobs);
+
     /// Block until every queued and running job has finished.
     void wait();
 
@@ -53,5 +58,13 @@ private:
 /// workers pull indices in order. The first exception thrown by any fn(i)
 /// is rethrown on the calling thread after all workers settle.
 void parallelFor(int threads, int n, const std::function<void(int)>& fn);
+
+/// parallelFor on a caller-owned pool: repeated sweeps reuse the same
+/// workers instead of constructing and joining a fresh ThreadPool per call.
+/// `pool == nullptr` (or a pool of size 1) runs the loop inline. The pool
+/// must be otherwise idle: completion is detected with ThreadPool::wait(),
+/// which waits for the whole queue to drain. Exception semantics match the
+/// thread-count overload (first error rethrown after all workers settle).
+void parallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn);
 
 }  // namespace sna::util

@@ -144,7 +144,8 @@ TEST(Levelize, SelectIncomingKeepsTheParetoFront) {
     EXPECT_EQ(picks[0].fromNet, "na");
 
     // No upstream noise: empty.
-    EXPECT_TRUE(core::selectIncoming(index, "out", {}).empty());
+    surviving.clear();
+    EXPECT_TRUE(core::selectIncoming(index, "out", surviving).empty());
 }
 
 TEST(Levelize, MergeSurvivingKeepsNonDominatedFront) {
