@@ -20,13 +20,21 @@
 //     switching windows (even nets early, odd nets late), measuring the
 //     pessimism the FRAME-style window constraints recover: excluded
 //     aggressors, dropped incoming glitches, and the worst
-//     unconstrained-vs-windowed margins.
+//     unconstrained-vs-windowed margins;
+//   * cache: the chained wavefront run cold (fresh CharCache), saved to the
+//     snacache file, loaded into a fresh cache, and re-run warm — the warm
+//     run must replace every characterization with a disk hit;
+//   * eco: `--eco K` drivers near the chain tails are resized in place
+//     (Design::replaceCell) and analyzeDesignIncremental re-solves the
+//     dirty cone against the retained snapshot, timed against the full
+//     warm-cache re-run; the incremental margins must match the full run
+//     bitwise (incremental_margin_diff, asserted 0).
 // Margins are cross-checked within 1e-9 between every flat path. Emits one
 // JSON object (for the bench trajectory) after the human-readable table.
 //
 // Run:  ./build/bench_design_scale [--nets 50,200,800] [--threads 1,2,4,8]
 //                                  [--reference-max 200] [--chains 4]
-//                                  [--smoke]
+//                                  [--eco 1] [--smoke]
 // --smoke: one tiny size, threads 1,4, no reference sweep — a CI-speed run
 // whose JSON carries the full schema so bench bit-rot is caught before
 // merge.
@@ -39,10 +47,12 @@
 #include <vector>
 
 #include "core/design_index.hpp"
+#include "core/incremental.hpp"
 #include "core/sna.hpp"
 #include "interconnect/parallel_bus.hpp"
 #include "parser/windows_parser.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -154,6 +164,7 @@ double maxMarginDiff(const std::vector<core::NetNoiseReport>& a,
 /// (task-graph) wavefront wall times at that count.
 struct SweepPoint {
     int threads = 0;
+    int workers = 0;  ///< resolved count (threads == 0 means "auto")
     double flatSec = 0.0;
     double propSec = 0.0;
 };
@@ -191,6 +202,19 @@ struct Row {
     double worstWindowedMargin = 0.0;
     std::size_t windowExcludedAggressors = 0;
     std::size_t windowDroppedIncoming = 0;
+    // Persistent characterization cache: cold run / save / load / warm run.
+    std::size_t cacheEntries = 0;       ///< entries the save() wrote
+    double cacheColdSec = 0.0;          ///< fresh-cache wavefront run
+    double cacheWarmSec = 0.0;          ///< same run after load()
+    std::size_t cacheWarmCharRuns = 0;  ///< must be 0: all served from disk
+    std::size_t cacheDiskHits = 0;
+    // Incremental ECO re-analysis against the retained snapshot.
+    std::size_t ecoNets = 0;        ///< drivers resized in place
+    std::size_t ecoDirtyTasks = 0;  ///< cone the incremental run re-solved
+    std::size_t ecoTotalTasks = 0;
+    double ecoIncrementalSec = 0.0;
+    double ecoFullSec = 0.0;  ///< full warm-cache re-run of the same state
+    double incrementalMarginDiff = 0.0;  ///< vs the full re-run, must be 0
 };
 
 }  // namespace
@@ -200,6 +224,7 @@ int main(int argc, char** argv) {
     std::vector<int> threadsSweep{1, 2, 4, 8};
     int referenceMax = 200;  // brute force is super-quadratic; cap it
     int chains = 4;
+    int eco = 1;  // drivers perturbed by the incremental ECO pass
     try {
         for (int i = 1; i < argc; ++i) {
             if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -239,11 +264,17 @@ int main(int argc, char** argv) {
                     std::fprintf(stderr, "--chains must be >= 1\n");
                     return 1;
                 }
+            } else if (std::strcmp(argv[i], "--eco") == 0 && i + 1 < argc) {
+                eco = std::stoi(argv[++i]);
+                if (eco < 1) {
+                    std::fprintf(stderr, "--eco must be >= 1\n");
+                    return 1;
+                }
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--nets N1,N2,...] "
                              "[--threads T1,T2,...] [--reference-max N] "
-                             "[--chains K] [--smoke]\n",
+                             "[--chains K] [--eco K] [--smoke]\n",
                              argv[0]);
                 return 1;
             }
@@ -281,6 +312,7 @@ int main(int argc, char** argv) {
             t0 = std::chrono::steady_clock::now();
             const auto rep = core::analyzeDesign(design, spef, opt);
             row.sweep[k].threads = threadsSweep[k];
+            row.sweep[k].workers = util::resolveThreadCount(threadsSweep[k]);
             row.sweep[k].flatSec = seconds(t0);
             if (k == 0) {
                 opt1 = rep;
@@ -421,6 +453,101 @@ int main(int argc, char** argv) {
             firstWindowed = false;
         }
 
+        // ---- persistent characterization cache -----------------------------
+        // Cold wavefront run into a fresh cache, save, load into another
+        // fresh cache, identical run warm: the second invocation must do
+        // zero characterization work — disk hits replace every run.
+        const std::string cachePath =
+            "bench_design_scale_" + std::to_string(n) + ".snacache.tmp";
+        core::DesignNoiseOptions copt = popt;
+        copt.threads = threadsSweep.back();
+        std::vector<core::NetNoiseReport> cacheCold;
+        {
+            charlib::CharCache cold;
+            copt.cache = &cold;
+            t0 = std::chrono::steady_clock::now();
+            cacheCold = core::analyzeDesign(chained, chainSpef, copt);
+            row.cacheColdSec = seconds(t0);
+            const auto saved = cold.save(cachePath);
+            if (!saved.ok) {
+                std::fprintf(stderr, "cache save failed: %s\n",
+                             saved.error.c_str());
+                return 1;
+            }
+            row.cacheEntries = saved.entries;
+        }
+        {
+            charlib::CharCache warm;
+            const auto loaded = warm.load(cachePath);
+            if (!loaded.ok) {
+                std::fprintf(stderr, "cache load failed: %s\n",
+                             loaded.error.c_str());
+                return 1;
+            }
+            copt.cache = &warm;
+            t0 = std::chrono::steady_clock::now();
+            const auto rep = core::analyzeDesign(chained, chainSpef, copt);
+            row.cacheWarmSec = seconds(t0);
+            const auto wstats = warm.stats();
+            row.cacheWarmCharRuns = wstats.totalRuns();
+            row.cacheDiskHits = wstats.totalDiskHits();
+            if (row.cacheWarmCharRuns != 0 ||
+                maxMarginDiff(cacheCold, rep) != 0.0) {
+                std::fprintf(stderr,
+                             "warm cache run recharacterized or diverged "
+                             "(%zu runs)\n",
+                             row.cacheWarmCharRuns);
+                return 1;
+            }
+        }
+        std::remove(cachePath.c_str());
+
+        // ---- incremental ECO re-analysis -----------------------------------
+        // Retain a snapshot of the cold full run, resize `eco` drivers near
+        // the chain tails (small downstream cones), and time the restricted
+        // re-solve against a full warm-cache re-run of the mutated design.
+        {
+            charlib::CharCache ecache;
+            core::DesignNoiseOptions eopt = popt;
+            eopt.threads = threadsSweep.back();
+            eopt.cache = &ecache;
+            core::AnalysisSnapshot snapshot;
+            eopt.snapshot = &snapshot;
+            core::analyzeDesign(chained, chainSpef, eopt);
+            eopt.snapshot = nullptr;
+
+            const int depth = (n + chains - 1) / chains;
+            core::DesignDelta delta;
+            for (int j = 0; j < eco; ++j) {
+                const int idx = (n - 1) - j * depth;
+                if (idx < 0) break;
+                const std::string name = "g" + std::to_string(idx);
+                chained.replaceCell(name, "INV_X2");
+                delta.instances.push_back(name);
+            }
+            row.ecoNets = delta.instances.size();
+
+            core::IncrementalStats istats;
+            t0 = std::chrono::steady_clock::now();
+            const auto fast = core::analyzeDesignIncremental(
+                chained, chainSpef, delta, snapshot, eopt, &istats);
+            row.ecoIncrementalSec = seconds(t0);
+            row.ecoDirtyTasks = istats.dirtyTasks;
+            row.ecoTotalTasks = istats.totalTasks;
+
+            t0 = std::chrono::steady_clock::now();
+            const auto full = core::analyzeDesign(chained, chainSpef, eopt);
+            row.ecoFullSec = seconds(t0);
+            row.incrementalMarginDiff = maxMarginDiff(fast, full);
+            if (row.incrementalMarginDiff != 0.0) {
+                std::fprintf(stderr,
+                             "incremental ECO run diverged from the full "
+                             "re-run (max |dMargin| %.3e V)\n",
+                             row.incrementalMarginDiff);
+                return 1;
+            }
+        }
+
         rows.push_back(row);
         std::fprintf(stderr, "done %d nets\n", n);
     }
@@ -495,6 +622,29 @@ int main(int argc, char** argv) {
         "slots)\n\n%s\n",
         wtable.str().c_str());
 
+    util::Table ctable({"Nets", "Cache entries", "Cold (s)", "Warm (s)",
+                        "Warm char runs", "Disk hits", "ECO nets",
+                        "Dirty/total tasks", "Incr (s)", "Full (s)",
+                        "Incr speed-up"});
+    for (const auto& r : rows) {
+        ctable.addRow(
+            {std::to_string(r.nets), std::to_string(r.cacheEntries),
+             util::Table::num(r.cacheColdSec, 2),
+             util::Table::num(r.cacheWarmSec, 2),
+             std::to_string(r.cacheWarmCharRuns),
+             std::to_string(r.cacheDiskHits), std::to_string(r.ecoNets),
+             std::to_string(r.ecoDirtyTasks) + "/" +
+                 std::to_string(r.ecoTotalTasks),
+             util::Table::num(r.ecoIncrementalSec, 3),
+             util::Table::num(r.ecoFullSec, 3),
+             r.ecoIncrementalSec > 0.0
+                 ? util::Table::num(r.ecoFullSec / r.ecoIncrementalSec, 1)
+                 : "-"});
+    }
+    std::printf(
+        "Persistent cache warm start + incremental ECO re-analysis\n\n%s\n",
+        ctable.str().c_str());
+
     std::printf("{\"bench\": \"design_scale\", \"rows\": [");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& r = rows[i];
@@ -508,7 +658,8 @@ int main(int argc, char** argv) {
         std::ostringstream sweepJson;
         for (std::size_t k = 0; k < r.sweep.size(); ++k) {
             sweepJson << (k == 0 ? "" : ", ") << "{\"threads\": "
-                      << r.sweep[k].threads << ", \"flat_sec\": "
+                      << r.sweep[k].threads << ", \"workers\": "
+                      << r.sweep[k].workers << ", \"flat_sec\": "
                       << util::Table::num(r.sweep[k].flatSec, 4)
                       << ", \"propagate_sec\": "
                       << util::Table::num(r.sweep[k].propSec, 4) << "}";
@@ -536,7 +687,13 @@ int main(int argc, char** argv) {
             "\"window_dropped_incoming\": %zu, "
             "\"worst_unconstrained_margin\": %.4f, "
             "\"worst_windowed_margin\": %.4f, "
-            "\"max_margin_recovery\": %.4f}",
+            "\"max_margin_recovery\": %.4f, "
+            "\"cache_entries\": %zu, \"cache_cold_sec\": %.4f, "
+            "\"cache_warm_sec\": %.4f, \"cache_warm_char_runs\": %zu, "
+            "\"cache_disk_hits\": %zu, "
+            "\"eco_nets\": %zu, \"eco_dirty_tasks\": %zu, "
+            "\"eco_total_tasks\": %zu, \"eco_incremental_sec\": %.4f, "
+            "\"eco_full_sec\": %.4f, \"incremental_margin_diff\": %.3e}",
             i == 0 ? "" : ", ", r.nets, r.reports, refStr.c_str(), r.opt1Sec,
             r.opt4Sec, speedupStr.c_str(), r.marginDiff, r.loadCurveRuns,
             r.nrcRuns, sweepJson.str().c_str(), r.levels, r.prop1Sec,
@@ -545,7 +702,10 @@ int main(int argc, char** argv) {
             r.propagationRuns, r.maxMarginDrop, r.combinedOnlyFails,
             r.windowed1Sec, r.windowExcludedAggressors,
             r.windowDroppedIncoming, r.worstUnconstrainedMargin,
-            r.worstWindowedMargin, r.maxMarginRecovery);
+            r.worstWindowedMargin, r.maxMarginRecovery, r.cacheEntries,
+            r.cacheColdSec, r.cacheWarmSec, r.cacheWarmCharRuns,
+            r.cacheDiskHits, r.ecoNets, r.ecoDirtyTasks, r.ecoTotalTasks,
+            r.ecoIncrementalSec, r.ecoFullSec, r.incrementalMarginDiff);
     }
     std::printf("], \"chains\": %d}\n", chains);
     return 0;

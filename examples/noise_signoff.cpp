@@ -19,9 +19,14 @@
 // pessimism — the report then shows the unconstrained margin next to the
 // windowed one.
 //
-// Build & run:  ./build/noise_signoff
+// Build & run:  ./build/noise_signoff [--cache signoff.snacache]
+// --cache warm-starts the characterization cache from the given file when
+// it exists and saves it back after the run: the second invocation serves
+// every load curve, Thevenin model, NRC, and propagation table from disk
+// and characterizes nothing.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "core/sna.hpp"
@@ -67,8 +72,17 @@ std::string chainSpef() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sna;
+    std::string cachePath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+            cachePath = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--cache FILE]\n", argv[0]);
+            return 1;
+        }
+    }
     const cell::CellLibrary lib(tech::tech130());
 
     const auto spef = parser::parseSpef(chainSpef());
@@ -99,6 +113,16 @@ int main() {
     core::DesignNoiseOptions opt;
     opt.propagate = true;
     charlib::CharCache cache;
+    if (!cachePath.empty()) {
+        const auto loaded = cache.load(cachePath);
+        if (loaded.entries > 0) {
+            std::printf("warm-started cache from '%s': %zu entries\n",
+                        cachePath.c_str(), loaded.entries);
+        } else if (!loaded.ok) {
+            std::printf("cache '%s' not loaded (%s); starting cold\n",
+                        cachePath.c_str(), loaded.error.c_str());
+        }
+    }
     opt.cache = &cache;
     const auto reports = core::analyzeDesign(design, spef, opt);
 
@@ -166,8 +190,18 @@ int main() {
 
     const auto s = cache.stats();
     std::printf("characterizations: %zu load curves, %zu thevenins, "
-                "%zu NRCs, %zu propagation tables\n",
+                "%zu NRCs, %zu propagation tables (%zu served from disk)\n",
                 s.loadCurveRuns, s.theveninRuns, s.nrcRuns,
-                s.propagationRuns);
+                s.propagationRuns, s.totalDiskHits());
+    if (!cachePath.empty()) {
+        const auto saved = cache.save(cachePath);
+        if (saved.ok) {
+            std::printf("cache saved to '%s': %zu entries\n",
+                        cachePath.c_str(), saved.entries);
+        } else {
+            std::fprintf(stderr, "cache save failed: %s\n",
+                         saved.error.c_str());
+        }
+    }
     return 0;
 }

@@ -1,9 +1,15 @@
 #include "charlib/char_cache.hpp"
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
+#include "charlib/model_io.hpp"
 #include "util/error.hpp"
 
 namespace sna::charlib {
@@ -94,6 +100,60 @@ std::string keyOf(const NrcSpec& s) {
     return os.str();
 }
 
+// ---- "snacache v1" file format -------------------------------------------
+//
+//   snacache v1
+//   entry <kind> <payload-bytes> <escaped-key>
+//   <payload-bytes of snamodel text>
+//   entry ...
+//   end <record-count>
+//
+// Each payload is exactly the charlib/model_io serialization of the value
+// (hex-float, exact round-trip), so the on-disk models inherit model_io's
+// versioning and tests. Keys are percent-escaped (they are slash-separated
+// hex fields plus free-form technology/cell names); payloads are carried
+// by byte count, so the loader never has to parse them to skip them.
+
+constexpr const char* kCacheHeader = "snacache v1";
+
+constexpr const char* kKindLoadCurve = "loadcurve";
+constexpr const char* kKindThevenin = "thevenin";
+constexpr const char* kKindNrc = "nrc";
+constexpr const char* kKindPropagation = "propagation";
+
+std::string escapeKey(const std::string& key) {
+    std::string out;
+    out.reserve(key.size());
+    for (const unsigned char c : key) {
+        if (c <= ' ' || c == '%' || c == 0x7f) {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02x", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+bool unescapeKey(const std::string& escaped, std::string& out) {
+    out.clear();
+    out.reserve(escaped.size());
+    for (std::size_t i = 0; i < escaped.size(); ++i) {
+        if (escaped[i] != '%') {
+            out += escaped[i];
+            continue;
+        }
+        if (i + 2 >= escaped.size()) return false;
+        unsigned value = 0;
+        if (std::sscanf(escaped.c_str() + i + 1, "%2x", &value) != 1)
+            return false;
+        out += static_cast<char>(value);
+        i += 2;
+    }
+    return true;
+}
+
 }  // namespace
 
 template <typename T, typename Fn>
@@ -105,19 +165,25 @@ std::shared_ptr<const T> CharCache::getOrCompute(Table<T>& table,
         std::unique_lock<std::mutex> lock(mu_);
         const auto it = table.entries.find(key);
         if (it != table.entries.end()) {
-            ++table.hits;
-            fut = it->second;
+            // A disk-loaded entry's first-and-every hit is characterization
+            // the warm start replaced; count it apart from in-memory hits.
+            if (it->second.fromDisk)
+                ++table.diskHits;
+            else
+                ++table.hits;
+            fut = it->second.fut;
         } else if (table.entries.size() >= table.maxEntries) {
             // Table full: characterize without storing, so a shared cache
             // stays bounded under never-repeating keys.
             ++table.runs;
+            ++table.overflow;
             lock.unlock();
             return std::make_shared<const T>(compute());
         } else {
             ++table.runs;
             std::promise<std::shared_ptr<const T>> prom;
             fut = prom.get_future().share();
-            table.entries.emplace(key, fut);
+            table.entries.emplace(key, Entry<T>{fut, false});
             lock.unlock();
             // Characterize outside the lock: other keys proceed in parallel,
             // same-key callers block on the future (single-flight).
@@ -131,6 +197,20 @@ std::shared_ptr<const T> CharCache::getOrCompute(Table<T>& table,
         }
     }
     return fut.get();
+}
+
+template <typename T>
+bool CharCache::insertFromDisk(Table<T>& table, const std::string& key,
+                               std::shared_ptr<const T> value) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    // A present key wins — ready entries are identical by key construction,
+    // and an in-flight future must keep its single-flight waiters.
+    if (table.entries.count(key) != 0) return false;
+    if (table.entries.size() >= table.maxEntries) return false;
+    std::promise<std::shared_ptr<const T>> prom;
+    prom.set_value(std::move(value));
+    table.entries.emplace(key, Entry<T>{prom.get_future().share(), true});
+    return true;
 }
 
 std::shared_ptr<const la::Grid2d> CharCache::loadCurve(
@@ -167,7 +247,212 @@ CharCache::Stats CharCache::stats() const {
     s.nrcHits = nrcs_.hits;
     s.propagationRuns = propagations_.runs;
     s.propagationHits = propagations_.hits;
+    s.loadCurveDiskHits = loadCurves_.diskHits;
+    s.theveninDiskHits = thevenins_.diskHits;
+    s.nrcDiskHits = nrcs_.diskHits;
+    s.propagationDiskHits = propagations_.diskHits;
+    s.loadCurveOverflow = loadCurves_.overflow;
+    s.theveninOverflow = thevenins_.overflow;
+    s.nrcOverflow = nrcs_.overflow;
+    s.propagationOverflow = propagations_.overflow;
     return s;
+}
+
+CharCache::Limits CharCache::limits() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Limits l;
+    l.loadCurves = loadCurves_.maxEntries;
+    l.thevenins = thevenins_.maxEntries;
+    l.nrcs = nrcs_.maxEntries;
+    l.propagations = propagations_.maxEntries;
+    return l;
+}
+
+void CharCache::setLimits(const Limits& limits) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    loadCurves_.maxEntries = limits.loadCurves;
+    thevenins_.maxEntries = limits.thevenins;
+    nrcs_.maxEntries = limits.nrcs;
+    propagations_.maxEntries = limits.propagations;
+}
+
+CharCache::PersistResult CharCache::save(const std::string& path) const {
+    PersistResult result;
+    // Snapshot ready entries under the lock (futures are cheap to copy),
+    // serialize outside it so in-flight characterizations are not stalled.
+    struct Record {
+        const char* kind;
+        std::string key;
+        std::string payload;
+    };
+    std::vector<Record> records;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto snapshot = [&](const auto& table, const char* kind,
+                                  auto serialize) {
+            for (const auto& [key, entry] : table.entries) {
+                if (entry.fut.wait_for(std::chrono::seconds(0)) !=
+                    std::future_status::ready) {
+                    ++result.skipped;  // in-flight: the value isn't born yet
+                    continue;
+                }
+                records.push_back({kind, key, serialize(*entry.fut.get())});
+            }
+        };
+        snapshot(loadCurves_, kKindLoadCurve,
+                 [](const la::Grid2d& v) { return saveLoadCurve(v); });
+        snapshot(thevenins_, kKindThevenin,
+                 [](const TheveninModel& v) { return saveThevenin(v); });
+        snapshot(nrcs_, kKindNrc,
+                 [](const la::Grid1d& v) { return saveNrc(v); });
+        snapshot(propagations_, kKindPropagation,
+                 [](const PropagationTable& v) { return savePropagation(v); });
+    }
+
+    // Write a temporary sibling and rename: a concurrent load() from
+    // another process sees either the old complete file or the new one.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            result.error = "cannot open " + tmp + " for writing";
+            return result;
+        }
+        out << kCacheHeader << '\n';
+        for (const Record& r : records) {
+            out << "entry " << r.kind << ' ' << r.payload.size() << ' '
+                << escapeKey(r.key) << '\n'
+                << r.payload << '\n';
+        }
+        out << "end " << records.size() << '\n';
+        out.flush();
+        if (!out) {
+            result.error = "write failed for " + tmp;
+            std::remove(tmp.c_str());
+            return result;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        result.error = "rename to " + path + " failed";
+        std::remove(tmp.c_str());
+        return result;
+    }
+    result.entries = records.size();
+    result.ok = true;
+    return result;
+}
+
+CharCache::PersistResult CharCache::load(const std::string& path) {
+    PersistResult result;
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            result.error = "cannot open " + path;
+            return result;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+
+    std::size_t pos = 0;
+    const auto nextLine = [&](std::string& line) {
+        if (pos >= text.size()) return false;
+        const std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) return false;  // unterminated: truncated
+        line.assign(text, pos, nl - pos);
+        pos = nl + 1;
+        return true;
+    };
+
+    std::string line;
+    if (!nextLine(line) || line != kCacheHeader) {
+        // Wrong or future version: load nothing — the format may have
+        // changed incompatibly, and a silent partial read could alias keys.
+        result.error = "bad cache header (want \"" +
+                       std::string(kCacheHeader) + "\")";
+        return result;
+    }
+
+    std::size_t declared = 0;
+    bool sawEnd = false;
+    while (nextLine(line)) {
+        if (line.rfind("end ", 0) == 0) {
+            declared = std::strtoull(line.c_str() + 4, nullptr, 10);
+            sawEnd = true;
+            break;
+        }
+        char kind[32] = {0};
+        unsigned long long payloadBytes = 0;
+        int keyStart = -1;
+        if (std::sscanf(line.c_str(), "entry %31s %llu %n", kind,
+                        &payloadBytes, &keyStart) != 2 ||
+            keyStart < 0) {
+            result.error = "malformed record line";
+            return result;
+        }
+        std::string key;
+        if (!unescapeKey(line.substr(static_cast<std::size_t>(keyStart)),
+                         key)) {
+            result.error = "malformed key escape";
+            return result;
+        }
+        if (pos + payloadBytes + 1 > text.size()) {
+            result.error = "truncated payload";  // keep the valid prefix
+            return result;
+        }
+        const std::string payload = text.substr(pos, payloadBytes);
+        pos += payloadBytes;
+        if (text[pos] != '\n') {
+            result.error = "missing payload terminator";
+            return result;
+        }
+        ++pos;
+
+        // A payload model_io rejects (corrupt hex, bad snamodel header) is
+        // skipped, not fatal: the rest of the file is still good.
+        bool inserted = false;
+        try {
+            const std::string k(kind);
+            if (k == kKindLoadCurve) {
+                inserted = insertFromDisk(
+                    loadCurves_, key,
+                    std::make_shared<const la::Grid2d>(loadLoadCurve(payload)));
+            } else if (k == kKindThevenin) {
+                inserted = insertFromDisk(
+                    thevenins_, key,
+                    std::make_shared<const TheveninModel>(
+                        loadThevenin(payload)));
+            } else if (k == kKindNrc) {
+                inserted = insertFromDisk(
+                    nrcs_, key,
+                    std::make_shared<const la::Grid1d>(loadNrc(payload)));
+            } else if (k == kKindPropagation) {
+                inserted = insertFromDisk(
+                    propagations_, key,
+                    std::make_shared<const PropagationTable>(
+                        loadPropagation(payload)));
+            }
+        } catch (const std::exception&) {
+            inserted = false;
+        }
+        if (inserted)
+            ++result.entries;
+        else
+            ++result.skipped;
+    }
+
+    if (!sawEnd) {
+        result.error = "truncated file (no end record)";
+        return result;
+    }
+    if (declared != result.entries + result.skipped) {
+        result.error = "record count mismatch";
+        return result;
+    }
+    result.ok = true;
+    return result;
 }
 
 void CharCache::clear() {
@@ -176,6 +461,8 @@ void CharCache::clear() {
         table.entries.clear();
         table.runs = 0;
         table.hits = 0;
+        table.diskHits = 0;
+        table.overflow = 0;
     };
     reset(loadCurves_);
     reset(thevenins_);

@@ -1,17 +1,27 @@
-// Shared characterization cache: run each pre-characterization once per run.
+// Shared characterization cache: run each pre-characterization once per run
+// — and, with the on-disk persistence below, once per technology ever.
 //
 // The paper's speed-up comes from amortizing cell characterization across
 // clusters; a design-level sweep re-deriving the same NAND2 load curve for
-// every victim net throws that away. CharCache memoizes the three
+// every victim net throws that away. CharCache memoizes the four
 // characterizations the cluster flow consumes — load-curve tables (DC
-// sweeps), aggressor Thevenin equivalents, and receiver NRCs — keyed on the
-// exact spec (cell name, pin, level, grid, bitwise numeric parameters), so a
-// hit returns the identical model the direct call would have produced.
+// sweeps), aggressor Thevenin equivalents, receiver NRCs, and propagation
+// tables — keyed on the exact spec (technology's full electrical identity,
+// cell name, pin, level, grid, bitwise numeric parameters), so a hit
+// returns the identical model the direct call would have produced.
 //
 // Thread-safe with single-flight semantics: when two workers request the
 // same uncharacterized key, one runs the sweep and the other blocks on the
 // shared future, so each (cell, level, grid) is characterized exactly once
 // per run no matter how many clusters need it.
+//
+// Persistence ("snacache v1"): save() serializes every ready entry through
+// the charlib/model_io round-trip formats; load() warm-starts a cache from
+// disk, inserting only keys not already present (single-flight-safe even
+// while workers are characterizing). Keys embed the technology identity and
+// every grid parameter, so a stale or foreign file degrades to plain cache
+// misses — never to wrong models — and corrupt or truncated files fall
+// through to recomputation entry by entry.
 #pragma once
 
 #include <cstddef>
@@ -48,29 +58,98 @@ public:
 
     struct Stats {
         std::size_t loadCurveRuns = 0;  ///< actual DC-sweep characterizations
-        std::size_t loadCurveHits = 0;
+        std::size_t loadCurveHits = 0;  ///< hits on entries computed this run
         std::size_t theveninRuns = 0;
         std::size_t theveninHits = 0;
         std::size_t nrcRuns = 0;
         std::size_t nrcHits = 0;
         std::size_t propagationRuns = 0;
         std::size_t propagationHits = 0;
+        /// Hits served by entries that came from a load()ed cache file —
+        /// characterization work the warm start replaced, counted apart from
+        /// the in-memory hits above.
+        std::size_t loadCurveDiskHits = 0;
+        std::size_t theveninDiskHits = 0;
+        std::size_t nrcDiskHits = 0;
+        std::size_t propagationDiskHits = 0;
+        /// Misses that hit a full table and characterized without storing
+        /// (the bounded compute-without-store path): what a persistent cache
+        /// sized at the current limits could not retain.
+        std::size_t loadCurveOverflow = 0;
+        std::size_t theveninOverflow = 0;
+        std::size_t nrcOverflow = 0;
+        std::size_t propagationOverflow = 0;
+
+        std::size_t totalRuns() const {
+            return loadCurveRuns + theveninRuns + nrcRuns + propagationRuns;
+        }
+        std::size_t totalDiskHits() const {
+            return loadCurveDiskHits + theveninDiskHits + nrcDiskHits +
+                   propagationDiskHits;
+        }
+        std::size_t totalOverflow() const {
+            return loadCurveOverflow + theveninOverflow + nrcOverflow +
+                   propagationOverflow;
+        }
     };
     Stats stats() const;
+
+    /// Per-table insertion bounds. Insertion stops at the bound; further
+    /// misses characterize without storing (counted in the overflow stats),
+    /// so a long-lived shared cache stays bounded on workloads whose keys
+    /// never repeat. Thevenin and propagation keys embed the bitwise
+    /// cluster load cap — unique per cluster on real extracted parasitics —
+    /// hence their tighter defaults.
+    struct Limits {
+        std::size_t loadCurves = 65536;
+        std::size_t thevenins = 4096;
+        std::size_t nrcs = 65536;
+        std::size_t propagations = 4096;
+    };
+    Limits limits() const;
+    void setLimits(const Limits& limits);
+
+    /// Outcome of one save() or load() call. Neither throws on I/O or
+    /// format problems: a broken cache file must degrade to recomputation,
+    /// not kill a signoff run.
+    struct PersistResult {
+        std::size_t entries = 0;  ///< entries written / newly inserted
+        std::size_t skipped = 0;  ///< unreadable, unknown, or already-present
+        bool ok = false;          ///< header valid and file complete
+        std::string error;        ///< first problem hit ("" when ok)
+    };
+
+    /// Serialize every ready entry (all four tables) to `path` in the
+    /// versioned "snacache v1" text format. In-flight entries are skipped.
+    /// Writes to a temporary sibling and renames, so a concurrent load()
+    /// from another process never observes a half-written file.
+    PersistResult save(const std::string& path) const;
+
+    /// Warm-start from a file written by save(): inserts every readable
+    /// entry whose key is not already present (present keys — ready or
+    /// in-flight — are skipped, preserving single-flight semantics under
+    /// concurrent characterization). A version-string mismatch loads
+    /// nothing; a truncated file keeps its valid prefix; an entry with a
+    /// corrupt payload is skipped and loading continues. Keys from another
+    /// technology or grid simply never hit.
+    PersistResult load(const std::string& path);
 
     void clear();
 
 private:
     template <typename T>
+    struct Entry {
+        std::shared_future<std::shared_ptr<const T>> fut;
+        bool fromDisk = false;
+    };
+
+    template <typename T>
     struct Table {
-        std::map<std::string, std::shared_future<std::shared_ptr<const T>>>
-            entries;
+        std::map<std::string, Entry<T>> entries;
         std::size_t runs = 0;
         std::size_t hits = 0;
-        /// Insertion stops at this size; further misses characterize without
-        /// storing. Bounds long-lived shared caches on workloads whose keys
-        /// never repeat (Thevenin keys embed the bitwise cluster load cap,
-        /// which is unique per cluster on real extracted parasitics).
+        std::size_t diskHits = 0;
+        std::size_t overflow = 0;
         std::size_t maxEntries = 65536;
     };
 
@@ -78,13 +157,19 @@ private:
     std::shared_ptr<const T> getOrCompute(Table<T>& table,
                                           const std::string& key, Fn compute);
 
+    /// Inserts a disk-loaded value if the key is absent; returns false
+    /// (skip) when present or the table is full.
+    template <typename T>
+    bool insertFromDisk(Table<T>& table, const std::string& key,
+                        std::shared_ptr<const T> value);
+
     mutable std::mutex mu_;
     Table<la::Grid2d> loadCurves_;
-    Table<TheveninModel> thevenins_{{}, 0, 0, 4096};
+    Table<TheveninModel> thevenins_{{}, 0, 0, 0, 0, 4096};
     Table<la::Grid1d> nrcs_;
     /// Bounded like thevenins_: ClusterMacromodel keys embed the bitwise
     /// cluster load cap, which never repeats on real extracted parasitics.
-    Table<PropagationTable> propagations_{{}, 0, 0, 4096};
+    Table<PropagationTable> propagations_{{}, 0, 0, 0, 0, 4096};
 };
 
 }  // namespace sna::charlib

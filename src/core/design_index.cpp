@@ -56,17 +56,93 @@ DesignIndex::DesignIndex(const Design& design, const parser::SpefFile& spef,
     }
 
     // One pass over every cap of every SPEF section: coupling caps attribute
-    // symmetrically to both owning nets, wherever they were listed.
+    // symmetrically to both owning nets, wherever they were listed. The
+    // per-section contribution lists are retained (sectionPairs_) so that
+    // patchParasitics can later re-accumulate any net's sums in this exact
+    // (section, cap) order — floating-point addition is order-sensitive, and
+    // the incremental path promises bit-identity with a fresh build.
     for (const auto& [netName, spefNet] : spef.nets()) {
+        auto& pairs = sectionPairs_[netName];
         for (const auto& cap : spefNet.caps) {
             if (cap.node2.empty()) continue;
-            const std::string o1 = ownerOf(cap.node1);
-            const std::string o2 = ownerOf(cap.node2);
+            std::string o1 = ownerOf(cap.node1);
+            std::string o2 = ownerOf(cap.node2);
             if (o1 == o2) continue;
-            couplingByNet_[o1][o2] += cap.farads;
-            couplingByNet_[o2][o1] += cap.farads;
+            pairs.emplace_back(std::move(o1), std::move(o2), cap.farads);
+        }
+        if (pairs.empty()) sectionPairs_.erase(netName);
+    }
+    for (const auto& [section, pairs] : sectionPairs_) {
+        for (const auto& [o1, o2, farads] : pairs) {
+            couplingByNet_[o1][o2] += farads;
+            couplingByNet_[o2][o1] += farads;
         }
     }
+}
+
+std::vector<std::string> DesignIndex::patchParasitics(
+    const parser::SpefFile& spef, const std::vector<std::string>& changedNets) {
+    // Owners touched by the old or new version of any changed section: the
+    // set of nets whose coupling view may have moved.
+    std::set<std::string> affected;
+    const auto collect = [&affected](
+        const std::vector<std::tuple<std::string, std::string, double>>&
+            pairs) {
+        for (const auto& [o1, o2, farads] : pairs) {
+            affected.insert(o1);
+            affected.insert(o2);
+        }
+    };
+    for (const std::string& section : changedNets) {
+        if (const auto old = sectionPairs_.find(section);
+            old != sectionPairs_.end()) {
+            collect(old->second);
+            sectionPairs_.erase(old);
+        }
+        const auto it = spef.nets().find(section);
+        if (it == spef.nets().end()) continue;  // section removed by the ECO
+        auto& pairs = sectionPairs_[section];
+        for (const auto& cap : it->second.caps) {
+            if (cap.node2.empty()) continue;
+            std::string o1 = ownerOf(cap.node1);
+            std::string o2 = ownerOf(cap.node2);
+            if (o1 == o2) continue;
+            pairs.emplace_back(std::move(o1), std::move(o2), cap.farads);
+        }
+        if (pairs.empty()) {
+            sectionPairs_.erase(section);
+        } else {
+            collect(pairs);
+        }
+    }
+
+    // Re-accumulate the affected nets' sums from scratch over every section,
+    // in the same order the constructor used — any cheaper subtract-then-add
+    // patch would reorder the floating-point sums and break bit-identity.
+    std::map<std::string, std::map<std::string, double>> fresh;
+    for (const auto& n : affected) fresh[n];
+    for (const auto& [section, pairs] : sectionPairs_) {
+        for (const auto& [o1, o2, farads] : pairs) {
+            if (affected.count(o1)) fresh[o1][o2] += farads;
+            if (affected.count(o2)) fresh[o2][o1] += farads;
+        }
+    }
+
+    std::vector<std::string> changed;
+    for (auto& [net, freshMap] : fresh) {
+        const auto it = couplingByNet_.find(net);
+        const bool had = it != couplingByNet_.end();
+        if (had ? (it->second == freshMap) : freshMap.empty()) continue;
+        changed.push_back(net);
+        if (freshMap.empty()) {
+            couplingByNet_.erase(it);
+        } else if (had) {
+            it->second = std::move(freshMap);
+        } else {
+            couplingByNet_.emplace(net, std::move(freshMap));
+        }
+    }
+    return changed;
 }
 
 void DesignIndex::buildGraph() const {

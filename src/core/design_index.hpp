@@ -27,6 +27,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -100,6 +101,27 @@ public:
     /// The explicit switching-window input (nullptr when none was given).
     const TimingWindows* timingWindows() const { return windows_; }
 
+    /// Swap the switching-window input without rebuilding the index (the
+    /// windows object is an analysis input, not connectivity). Incremental
+    /// re-analysis calls this so a retained index never serves a stale
+    /// windows pointer from a previous request.
+    void setTimingWindows(const TimingWindows* windows) { windows_ = windows; }
+
+    /// Re-read the *CAP sections named in `changedNets` from `spef` (which
+    /// may be a different SpefFile object than the one the index was built
+    /// from — an ECO re-extraction) and rebuild the coupling view of every
+    /// net those sections touch, old or new. Connectivity (drivers, loads,
+    /// level graph) is untouched: parasitics don't change the netlist.
+    ///
+    /// Returns the sorted names of the nets whose couplingOf() map actually
+    /// changed in value — the seed set for dirty-cone marking. Rebuilt maps
+    /// are bit-identical to a fresh DesignIndex over the new SPEF: per-pair
+    /// cap sums are re-accumulated in the same (section, cap) order the
+    /// constructor uses, so floating-point summation order is preserved.
+    std::vector<std::string> patchParasitics(
+        const parser::SpefFile& spef,
+        const std::vector<std::string>& changedNets);
+
     /// (instance, input pin) loads of `net`, in design order; empty if none.
     const std::vector<std::pair<const Instance*, std::string>>& loadsOf(
         const std::string& net) const;
@@ -142,6 +164,14 @@ private:
         loadsByNet_;
     std::unordered_map<std::string, std::map<std::string, double>>
         couplingByNet_;
+    /// Per-SPEF-section coupling contributions as (owner1, owner2, farads)
+    /// in cap-listing order. couplingByNet_ is always derived from this (in
+    /// sorted section order, matching SpefFile::nets() iteration), which is
+    /// what lets patchParasitics rebuild a net's summed caps bit-identically
+    /// to a from-scratch construction.
+    std::map<std::string,
+             std::vector<std::tuple<std::string, std::string, double>>>
+        sectionPairs_;
     mutable std::once_flag graphOnce_;
     mutable std::unordered_map<std::string, std::vector<FaninEdge>>
         faninByNet_;

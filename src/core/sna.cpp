@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/design_index.hpp"
+#include "core/incremental.hpp"
 #include "core/propagate.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -24,6 +29,29 @@ void Design::addInstance(Instance inst) {
         }
     }
     instances_.push_back(std::move(inst));
+}
+
+void Design::replaceCell(const std::string& instName,
+                         const std::string& cellName) {
+    for (auto& inst : instances_) {
+        if (inst.name != instName) continue;
+        if (inst.cellName == cellName) return;
+        const cell::Cell& oldCell = lib_->cell(inst.cellName);
+        const cell::Cell& newCell = lib_->cell(cellName);
+        // Same output pin and the same input pins in the same order: the
+        // instance's pinToNet stays valid and so does every connectivity
+        // edge a retained DesignIndex derived from the old binding.
+        if (oldCell.outputName() != newCell.outputName() ||
+            oldCell.inputNames() != newCell.inputNames()) {
+            throw ModelError("replaceCell: '" + cellName +
+                             "' is not pin-compatible with '" +
+                             inst.cellName + "' on instance '" + instName +
+                             "'");
+        }
+        inst.cellName = cellName;
+        return;
+    }
+    throw ModelError("replaceCell: no instance named '" + instName + "'");
 }
 
 const Instance* Design::driverOf(const std::string& net) const {
@@ -217,14 +245,56 @@ NetNoiseReport analyzeVictim(
     return report;
 }
 
-}  // namespace
+/// Scalar analysis options that change per-net results, encoded bitwise. A
+/// snapshot whose fingerprint differs cannot splice: a clean net's retained
+/// report was computed under different knobs. Thread count and wavefront
+/// mode are deliberately absent — they never change a value.
+std::string fingerprintOf(const DesignNoiseOptions& opt) {
+    std::ostringstream os;
+    const auto put = [&os](double v) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        os << std::hex << bits << std::dec << '/';
+    };
+    put(opt.tstop);
+    os << opt.maxAggressors << '/' << opt.propagate << '/';
+    put(opt.propagateMinHeight);
+    os << (opt.windows != nullptr) << '/' << opt.report.searchAlignment
+       << '/' << opt.report.macromodel.usePrima << '/'
+       << opt.report.macromodel.primaBlocks << '/'
+       << opt.report.macromodel.loadCurveGrid << '/';
+    put(opt.report.alignment.window);
+    os << opt.report.alignment.coarsePoints << '/'
+       << opt.report.alignment.rounds << '/';
+    put(opt.report.nrc.widthMin);
+    put(opt.report.nrc.widthLimit);
+    put(opt.report.nrc.growth);
+    os << static_cast<int>(opt.report.nrc.interp);
+    return os.str();
+}
 
-std::vector<NetNoiseReport> analyzeDesign(const Design& design,
-                                          const parser::SpefFile& spef,
-                                          const DesignNoiseOptions& opt) {
+/// Splice inputs for one incremental run (analyzeWithIndex `inc` param):
+/// the prior snapshot to retain clean results from, the dirty net set to
+/// re-solve, and the counters to fill. All borrowed, never null.
+struct IncrementalContext {
+    const AnalysisSnapshot* prior = nullptr;
+    const std::unordered_set<std::string>* dirty = nullptr;
+    IncrementalStats* stats = nullptr;
+};
+
+/// The engine shared by analyzeDesign (inc == nullptr: every net solves)
+/// and analyzeDesignIncremental (inc != nullptr: clean nets splice their
+/// retained slot values and only the dirty tasks are scheduled). When
+/// `capture` is non-null the per-net result maps are (re)filled from this
+/// run's slots; the caller owns the snapshot's identity fields and index.
+/// `windowsPre`, when given, is the already-propagated window map (the
+/// incremental caller computes it early to diff against the snapshot).
+std::vector<NetNoiseReport> analyzeWithIndex(
+    const Design& design, const parser::SpefFile& spef,
+    const DesignNoiseOptions& opt, const DesignIndex& index,
+    const std::unordered_map<std::string, TimingWindow>* windowsPre,
+    const IncrementalContext* inc, AnalysisSnapshot* capture) {
     const cell::CellLibrary& lib = design.library();
-    const DesignIndex index(design, spef,
-                            opt.propagate ? opt.windows : nullptr);
     charlib::CharCache runCache;
     charlib::CharCache* cache = opt.cache ? opt.cache : &runCache;
 
@@ -304,19 +374,56 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
     // One pool per analyzeDesign call, shared by every sweep below: the old
     // per-level parallelFor constructed and joined a fresh ThreadPool at
     // every level, and that thread churn dominated the wavefront's runtime.
+    // threads == 0 means "use the machine" (hardware_concurrency).
+    const int threads = util::resolveThreadCount(opt.threads);
     std::unique_ptr<util::ThreadPool> pool;
-    if (opt.threads > 1) {
-        pool = std::make_unique<util::ThreadPool>(opt.threads);
+    if (threads > 1) {
+        pool = std::make_unique<util::ThreadPool>(threads);
     }
 
     if (!opt.propagate) {
         // ---- phase 2, flat (parallel): one independent cluster solve per
         // victim. Slot i holds net i's report, so ordering stays SPEF order
-        // at any thread count.
+        // at any thread count. Incremental runs splice clean victims from
+        // the snapshot and solve only the dirty slots.
+        std::vector<char> solveSlot(work.size(), 1);
+        if (inc != nullptr) {
+            for (std::size_t i = 0; i < work.size(); ++i) {
+                const std::string& net = *work[i].net;
+                if (inc->dirty->count(net) != 0) continue;
+                const auto it = inc->prior->victimReports.find(net);
+                if (it == inc->prior->victimReports.end()) continue;
+                reports[i] = it->second;
+                solveSlot[i] = 0;
+            }
+        }
         util::parallelFor(pool.get(), static_cast<int>(work.size()),
                           [&](int i) {
-                              reports[i] = solveVictim(work[i], {}, nullptr);
+                              if (solveSlot[static_cast<std::size_t>(i)]) {
+                                  reports[i] =
+                                      solveVictim(work[i], {}, nullptr);
+                              }
                           });
+        if (inc != nullptr) {
+            inc->stats->totalTasks = work.size();
+            for (const char solve : solveSlot) {
+                if (solve) {
+                    ++inc->stats->solvedVictimReports;
+                } else {
+                    ++inc->stats->reusedVictimReports;
+                }
+            }
+            inc->stats->dirtyTasks = inc->stats->solvedVictimReports;
+        }
+        if (capture != nullptr) {
+            capture->victimReports.clear();
+            capture->quietReports.clear();
+            capture->surviving.clear();
+            capture->netWindows.clear();
+            for (std::size_t i = 0; i < work.size(); ++i) {
+                capture->victimReports.emplace(*work[i].net, reports[i]);
+            }
+        }
         return reports;
     }
 
@@ -343,7 +450,10 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
     // bit-identical to the windows-less pipeline.
     const bool useWindows = opt.windows != nullptr;
     std::unordered_map<std::string, TimingWindow> netWindows;
-    if (useWindows) netWindows = propagateWindows(index, cache);
+    if (useWindows) {
+        netWindows = windowsPre != nullptr ? *windowsPre
+                                           : propagateWindows(index, cache);
+    }
     const auto windowAt = [&](const std::string& net) {
         const auto it = netWindows.find(net);
         return it != netWindows.end() ? it->second
@@ -359,6 +469,46 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
         static_cast<std::size_t>(numNets));
     std::vector<std::optional<NetNoiseReport>> quietReports(
         static_cast<std::size_t>(numNets));
+
+    // Incremental splice: every clean net's slots — surviving front, quiet
+    // report, victim report — are pre-filled from the snapshot before any
+    // task runs, so a dirty task reads its clean fanins' slots exactly as a
+    // full run would after solving them.
+    std::vector<char> dirtyMask(static_cast<std::size_t>(numNets), 1);
+    if (inc != nullptr) {
+        for (int id = 0; id < numNets; ++id) {
+            const std::string& net = tg.nets[static_cast<std::size_t>(id)];
+            if (inc->dirty->count(net) != 0) continue;
+            dirtyMask[static_cast<std::size_t>(id)] = 0;
+            if (const auto it = inc->prior->surviving.find(net);
+                it != inc->prior->surviving.end()) {
+                surviving[static_cast<std::size_t>(id)] = it->second;
+            }
+            if (const auto it = inc->prior->quietReports.find(net);
+                it != inc->prior->quietReports.end()) {
+                quietReports[static_cast<std::size_t>(id)] = it->second;
+            }
+        }
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            const std::string& net = *work[i].net;
+            const auto idIt = tg.idOf.find(net);
+            if (idIt != tg.idOf.end() &&
+                dirtyMask[static_cast<std::size_t>(idIt->second)] == 0) {
+                const auto it = inc->prior->victimReports.find(net);
+                if (it != inc->prior->victimReports.end()) {
+                    reports[i] = it->second;
+                    ++inc->stats->reusedVictimReports;
+                    continue;
+                }
+                // The caller's cone marking re-solves any victim the
+                // snapshot never recorded; this branch is unreachable, but
+                // a wrong mask must degrade to extra work, never to an
+                // empty report slot.
+                dirtyMask[static_cast<std::size_t>(idIt->second)] = 1;
+            }
+            ++inc->stats->solvedVictimReports;
+        }
+    }
 
     const auto solveNet = [&](int id) {
         const std::string& net = tg.nets[id];
@@ -669,7 +819,26 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
         surviving[static_cast<std::size_t>(id)] = std::move(kept);
     };
 
-    if (opt.wavefront == WavefrontMode::levelBarrier) {
+    if (inc != nullptr) {
+        // Incremental: only the dirty tasks are scheduled. Edges from a
+        // clean fanin vanish (its slot is already filled); edges among
+        // dirty tasks keep their dependency order, so a dirty net still
+        // solves after every dirty upstream net.
+        const util::RestrictedTaskGraph sub =
+            util::restrictTaskGraph(tg.graph, dirtyMask);
+        util::SchedulerStats stats = util::runTaskGraph(
+            sub.graph,
+            [&](int s) {
+                solveNet(sub.fullId[static_cast<std::size_t>(s)]);
+            },
+            pool.get());
+        inc->stats->totalTasks = static_cast<std::size_t>(numNets);
+        inc->stats->dirtyTasks = sub.fullId.size();
+        inc->stats->scheduler = stats;
+        if (opt.schedulerStats != nullptr) {
+            *opt.schedulerStats = std::move(stats);
+        }
+    } else if (opt.wavefront == WavefrontMode::levelBarrier) {
         // Validation baseline: levels run in order with a full join between
         // them. Task ids are (level, name)-ordered, so each level is the
         // contiguous id range [base, base + levelNets.size()).
@@ -690,12 +859,166 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
         }
     }
 
+    if (capture != nullptr) {
+        // Refresh the retained per-net maps from this run's slots (on an
+        // incremental run the clean entries were pre-filled above, so the
+        // rebuilt maps are complete either way).
+        capture->victimReports.clear();
+        capture->quietReports.clear();
+        capture->surviving.clear();
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            capture->victimReports.emplace(*work[i].net, reports[i]);
+        }
+        for (int id = 0; id < numNets; ++id) {
+            const std::string& net = tg.nets[static_cast<std::size_t>(id)];
+            if (!surviving[static_cast<std::size_t>(id)].empty()) {
+                capture->surviving.emplace(
+                    net, surviving[static_cast<std::size_t>(id)]);
+            }
+            if (quietReports[static_cast<std::size_t>(id)].has_value()) {
+                capture->quietReports.emplace(
+                    net, *quietReports[static_cast<std::size_t>(id)]);
+            }
+        }
+        capture->netWindows = netWindows;
+    }
+
     // Propagated-only entries for quiet nets follow the SPEF-ordered victim
     // reports, in level-then-name (== task id) order (deterministic).
     for (int id = 0; id < numNets; ++id) {
         auto& pr = quietReports[static_cast<std::size_t>(id)];
         if (pr.has_value()) reports.push_back(std::move(*pr));
     }
+    return reports;
+}
+
+}  // namespace
+
+std::vector<NetNoiseReport> analyzeDesign(const Design& design,
+                                          const parser::SpefFile& spef,
+                                          const DesignNoiseOptions& opt) {
+    auto index = std::make_unique<DesignIndex>(
+        design, spef, opt.propagate ? opt.windows : nullptr);
+    std::vector<NetNoiseReport> reports = analyzeWithIndex(
+        design, spef, opt, *index, nullptr, nullptr, opt.snapshot);
+    if (opt.snapshot != nullptr) {
+        opt.snapshot->design = &design;
+        opt.snapshot->instanceCount = design.instances().size();
+        opt.snapshot->fingerprint = fingerprintOf(opt);
+        opt.snapshot->index = std::move(index);
+        opt.snapshot->valid = true;
+    }
+    return reports;
+}
+
+std::vector<NetNoiseReport> analyzeDesignIncremental(
+    const Design& design, const parser::SpefFile& spef,
+    const DesignDelta& delta, AnalysisSnapshot& snapshot,
+    const DesignNoiseOptions& opt, IncrementalStats* statsOut) {
+    IncrementalStats localStats;
+    IncrementalStats& st = statsOut != nullptr ? *statsOut : localStats;
+    st = IncrementalStats{};
+
+    const std::string fp = fingerprintOf(opt);
+    const bool reusable =
+        snapshot.valid && snapshot.index != nullptr &&
+        snapshot.design == &design && snapshot.fingerprint == fp &&
+        snapshot.instanceCount == design.instances().size() &&
+        !delta.connectivityChanged;
+    if (!reusable) {
+        // No splice possible — first run, different design/options, or a
+        // connectivity change (which may have reallocated the instance
+        // storage the retained index points into). Run the full pipeline
+        // and capture a fresh snapshot so the NEXT iteration can go
+        // incremental.
+        st.indexRebuilt = true;
+        DesignNoiseOptions full = opt;
+        full.snapshot = &snapshot;
+        std::vector<NetNoiseReport> reports =
+            analyzeDesign(design, spef, full);
+        st.totalTasks = opt.propagate
+                            ? snapshot.index->taskGraph().nets.size()
+                            : snapshot.victimReports.size();
+        st.dirtyTasks = st.totalTasks;
+        st.solvedVictimReports = snapshot.victimReports.size();
+        return reports;
+    }
+
+    DesignIndex& index = *snapshot.index;
+    index.setTimingWindows(opt.propagate ? opt.windows : nullptr);
+
+    DesignNoiseOptions run = opt;
+    run.snapshot = nullptr;  // snapshot refresh is explicit below
+    charlib::CharCache iterationCache;
+    if (run.cache == nullptr) run.cache = &iterationCache;
+
+    // ---- seeds: what the delta touched directly -------------------------
+    std::unordered_set<std::string> seeds(delta.nets.begin(),
+                                          delta.nets.end());
+    for (const std::string& instName : delta.instances) {
+        // A rebound instance changes its output net's driver model and its
+        // input nets' receiver — every net on its pins re-solves.
+        for (const Instance& inst : design.instances()) {
+            if (inst.name != instName) continue;
+            for (const auto& [pin, net] : inst.pinToNet) seeds.insert(net);
+        }
+    }
+    // Re-read the changed SPEF sections in place; owners whose summed
+    // coupling moved are value-changed seeds too (their victims re-rank).
+    for (const std::string& net : index.patchParasitics(spef, delta.nets)) {
+        seeds.insert(net);
+    }
+    // Windows: re-propagate over the patched design (cheap — every
+    // characterization is a warm cache hit) and seed every net whose
+    // window moved: its own sensitivity interval changed, and so did the
+    // aggressor window its coupled victims see.
+    std::unordered_map<std::string, TimingWindow> newWindows;
+    const std::unordered_map<std::string, TimingWindow>* windowsPre =
+        nullptr;
+    if (run.propagate && run.windows != nullptr) {
+        newWindows = propagateWindows(index, run.cache);
+        for (const auto& [net, window] : newWindows) {
+            const auto it = snapshot.netWindows.find(net);
+            if (it == snapshot.netWindows.end() || it->second != window) {
+                seeds.insert(net);
+            }
+        }
+        for (const auto& [net, window] : snapshot.netWindows) {
+            if (newWindows.find(net) == newWindows.end()) seeds.insert(net);
+        }
+        windowsPre = &newWindows;
+    }
+
+    std::unordered_set<std::string> dirty =
+        expandDirtyCone(index, seeds, run.propagate, &st.coupledNeighbors);
+
+    // Safety net: a victim candidate the snapshot never recorded must be
+    // solved (with its cone), not spliced-as-absent. Unreachable without a
+    // connectivity change, but a wrong dirty set must degrade to extra
+    // work, never to a missing report.
+    std::unordered_set<std::string> unrecorded;
+    for (const auto& [netName, spefNet] : spef.nets()) {
+        if (dirty.count(netName) != 0) continue;
+        if (snapshot.victimReports.count(netName) != 0) continue;
+        if (index.couplingOf(netName).empty()) continue;
+        if (index.driverOf(netName) == nullptr) continue;
+        if (index.loadsOf(netName).empty()) continue;
+        unrecorded.insert(netName);
+    }
+    if (!unrecorded.empty()) {
+        seeds.insert(unrecorded.begin(), unrecorded.end());
+        dirty = expandDirtyCone(index, seeds, run.propagate,
+                                &st.coupledNeighbors);
+    }
+    st.seedNets = seeds.size();
+
+    IncrementalContext ctx;
+    ctx.prior = &snapshot;
+    ctx.dirty = &dirty;
+    ctx.stats = &st;
+    std::vector<NetNoiseReport> reports = analyzeWithIndex(
+        design, spef, run, index, windowsPre, &ctx, &snapshot);
+    snapshot.valid = true;
     return reports;
 }
 

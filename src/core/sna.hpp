@@ -19,6 +19,8 @@
 
 namespace sna::core {
 
+struct AnalysisSnapshot;  // core/incremental.hpp
+
 struct Instance {
     std::string name;
     std::string cellName;
@@ -34,6 +36,16 @@ public:
 
     /// Adds an instance; every pin of the cell must be connected.
     void addInstance(Instance inst);
+
+    /// Rebind instance `instName` to `cellName` in place — the ECO "resize
+    /// a driver" mutation. The new cell must be pin-compatible (identical
+    /// pin names, same output and input roles) so the connectivity — and
+    /// therefore a retained DesignIndex and its level graph — stays valid;
+    /// throws ModelError otherwise, or when no such instance exists.
+    /// Instance storage is not reallocated, so Instance pointers held by an
+    /// index survive. Pass the instance in DesignDelta::instances to have
+    /// analyzeDesignIncremental re-solve its cone.
+    void replaceCell(const std::string& instName, const std::string& cellName);
 
     const std::vector<Instance>& instances() const { return instances_; }
 
@@ -124,8 +136,10 @@ struct DesignNoiseOptions {
     double tstop = 2.5e-9;
     std::size_t maxAggressors = 3;  ///< strongest-coupled first
     ReportOptions report;
-    /// Worker threads for the victim-net loop; <= 1 runs serially. Report
-    /// order and numeric results are identical at any thread count.
+    /// Worker threads for the victim-net loop; 1 (or negative) runs
+    /// serially, 0 resolves to std::thread::hardware_concurrency() (see
+    /// util::resolveThreadCount). Report order and numeric results are
+    /// identical at any thread count.
     int threads = 1;
     /// Characterization cache shared across clusters. nullptr uses a fresh
     /// per-run cache; pass one to share across runs or to read its stats.
@@ -151,9 +165,15 @@ struct DesignNoiseOptions {
     /// Wavefront scheduling (propagate == true only); see WavefrontMode.
     WavefrontMode wavefront = WavefrontMode::taskGraph;
     /// When non-null, the task-graph wavefront writes its scheduler counters
-    /// (tasks executed, steals, ready-frontier high water, per-worker busy
-    /// fractions) here; untouched by the flat sweep and the barrier mode.
+    /// (resolved worker count, tasks executed, steals, ready-frontier high
+    /// water, per-worker busy fractions) here; untouched by the flat sweep
+    /// and the barrier mode.
     util::SchedulerStats* schedulerStats = nullptr;
+    /// When non-null, analyzeDesign captures its retained state here (index,
+    /// per-net reports, surviving fronts, propagated windows) so later ECO
+    /// iterations can run analyzeDesignIncremental against it. See
+    /// core/incremental.hpp.
+    AnalysisSnapshot* snapshot = nullptr;
 };
 
 /// Analyze every SPEF net that has coupling capacitance and a driver and at

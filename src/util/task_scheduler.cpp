@@ -63,6 +63,7 @@ SchedulerStats runTaskGraph(const TaskGraph& graph,
     requireAcyclic(graph);
     const int n = graph.size();
     SchedulerStats stats;
+    stats.workers = (pool == nullptr) ? 1 : std::max(1, pool->size());
     if (n == 0) return stats;
 
     if (pool == nullptr || pool->size() <= 1) {
@@ -233,6 +234,34 @@ SchedulerStats runTaskGraph(const TaskGraph& graph,
             ws > 0.0 ? busy[static_cast<std::size_t>(w)] / ws : 0.0);
     }
     return stats;
+}
+
+RestrictedTaskGraph restrictTaskGraph(const TaskGraph& graph,
+                                      const std::vector<char>& keep) {
+    const int n = graph.size();
+    SNA_REQUIRE(static_cast<int>(keep.size()) == n,
+                "restrictTaskGraph keep mask size mismatch");
+    RestrictedTaskGraph out;
+    std::vector<int> subOf(static_cast<std::size_t>(n), -1);
+    for (int i = 0; i < n; ++i) {
+        if (!keep[static_cast<std::size_t>(i)]) continue;
+        subOf[static_cast<std::size_t>(i)] =
+            static_cast<int>(out.fullId.size());
+        out.fullId.push_back(i);
+    }
+    const int m = static_cast<int>(out.fullId.size());
+    out.graph.fanout.resize(static_cast<std::size_t>(m));
+    out.graph.faninCount.assign(static_cast<std::size_t>(m), 0);
+    for (int sub = 0; sub < m; ++sub) {
+        const int full = out.fullId[static_cast<std::size_t>(sub)];
+        for (const int d : graph.fanout[static_cast<std::size_t>(full)]) {
+            const int dSub = subOf[static_cast<std::size_t>(d)];
+            if (dSub < 0) continue;  // edge into a clean task: already solved
+            out.graph.fanout[static_cast<std::size_t>(sub)].push_back(dSub);
+            ++out.graph.faninCount[static_cast<std::size_t>(dSub)];
+        }
+    }
+    return out;
 }
 
 }  // namespace sna::util

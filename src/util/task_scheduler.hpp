@@ -38,6 +38,9 @@ struct TaskGraph {
 
 /// Counters from one runTaskGraph call, for bench observability.
 struct SchedulerStats {
+    /// Worker count the run actually used (pool size, or 1 when serial) —
+    /// distinct from the *requested* thread count, which may be 0 ("auto").
+    int workers = 0;
     std::size_t tasksExecuted = 0;  ///< == graph.size() on success
     std::size_t steals = 0;  ///< tasks taken from another worker's deque
     /// High-water mark of the global ready frontier (tasks enqueued across
@@ -66,5 +69,24 @@ struct SchedulerStats {
 SchedulerStats runTaskGraph(const TaskGraph& graph,
                             const std::function<void(int)>& run,
                             ThreadPool* pool = nullptr);
+
+/// An induced subgraph of a TaskGraph plus the mapping back to the full
+/// graph's task ids. Running `graph` with `run(fullId[sub])` executes
+/// exactly the kept tasks, each after all its *kept* fanins.
+struct RestrictedTaskGraph {
+    TaskGraph graph;
+    std::vector<int> fullId;  ///< sub id -> original task id, ascending
+};
+
+/// Induce the subgraph of `graph` on the tasks with keep[id] != 0 —
+/// incremental re-analysis runs only the dirty cone this way. Edges
+/// survive only when both endpoints are kept; a dropped intermediate task
+/// does NOT splice its fanins to its fanouts, so `keep` must be closed
+/// under "downstream of a kept task" for dependency order to be complete
+/// (the dirty-cone marking guarantees this by construction). Sub ids are
+/// assigned in ascending full-id order, so any topological numbering of
+/// the full graph carries over to the restriction.
+RestrictedTaskGraph restrictTaskGraph(const TaskGraph& graph,
+                                      const std::vector<char>& keep);
 
 }  // namespace sna::util

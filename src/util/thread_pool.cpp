@@ -6,6 +6,15 @@
 
 namespace sna::util {
 
+int resolveThreadCount(int requested) {
+    if (requested > 0) return requested;
+    if (requested == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    return 1;
+}
+
 ThreadPool::ThreadPool(int threads) {
     if (threads < 1) threads = 1;
     workers_.reserve(static_cast<std::size_t>(threads));

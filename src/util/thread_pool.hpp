@@ -53,6 +53,13 @@ private:
     bool stop_ = false;
 };
 
+/// Resolve a requested thread count to a concrete worker count: 0 means
+/// "use the machine" (std::thread::hardware_concurrency(), or 1 when the
+/// runtime reports 0), negatives clamp to 1, positives pass through. Every
+/// consumer of a thread-count option should resolve through here so "auto"
+/// means the same thing everywhere.
+int resolveThreadCount(int requested);
+
 /// Run fn(i) for every i in [0, n). With threads <= 1 the loop runs inline
 /// on the calling thread (no pool is created); otherwise min(threads, n)
 /// workers pull indices in order. The first exception thrown by any fn(i)

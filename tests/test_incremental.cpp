@@ -1,0 +1,659 @@
+// Tests for the persistent characterization cache and the incremental
+// ECO-loop fast path: snacache save/load round trip (warm start replaces
+// every characterization run), version-mismatch / truncated-file /
+// wrong-technology fall-through to clean recomputation, concurrent load()
+// into a cache that workers are characterizing, overflow accounting under
+// tiny limits, dirty-cone expansion, and bit-identity of
+// analyzeDesignIncremental with a cold full run at several thread counts
+// for the flat, propagated, and windowed pipelines.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "charlib/char_cache.hpp"
+#include "core/design_index.hpp"
+#include "core/incremental.hpp"
+#include "core/sna.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace sna;
+
+void addInst(core::Design& d, const std::string& name,
+             const std::string& cell,
+             std::map<std::string, std::string> pins) {
+    core::Instance i;
+    i.name = name;
+    i.cellName = cell;
+    i.pinToNet = std::move(pins);
+    d.addInstance(std::move(i));
+}
+
+// 4-net coupled ring: every net is a victim, two drive strengths, no
+// propagation needed — the cheap fixture for the cache tests.
+std::string ringSpef(int nets) {
+    std::ostringstream os;
+    os << "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"ring\"\n";
+    os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n\n";
+    for (int i = 0; i < nets; ++i) {
+        const int j = (i + 1) % nets;
+        const double cc = 6.0 + 2.0 * i;
+        os << "*D_NET n" << i << " " << (6.5 + cc) << "\n";
+        os << "*CONN\n*I d" << i << ":y O\n*I r" << i << ":a I\n";
+        os << "*CAP\n";
+        os << "1 d" << i << ":y 2.0\n";
+        os << "2 n" << i << ":1 3.0\n";
+        os << "3 r" << i << ":a 1.5\n";
+        os << "4 n" << i << ":1 n" << j << ":1 " << cc << "\n";
+        os << "*RES\n";
+        os << "1 d" << i << ":y n" << i << ":1 40\n";
+        os << "2 n" << i << ":1 r" << i << ":a 40\n";
+        os << "*END\n\n";
+    }
+    return os.str();
+}
+
+void buildRingDesign(core::Design& design, int nets) {
+    for (int i = 0; i < nets; ++i) {
+        const std::string n = std::to_string(i);
+        addInst(design, "d" + n, (i % 2 == 0) ? "INV_X1" : "INV_X2",
+                {{"a", "pi" + n}, {"y", "n" + n}});
+        addInst(design, "r" + n, (i % 2 == 0) ? "INV_X2" : "INV_X1",
+                {{"a", "n" + n}, {"y", "po" + n}});
+    }
+}
+
+// Chain of stage nets s0..s{n-1} through INV_X1 drivers; stage i gets
+// `aggsAt[i]` dedicated aggressor nets coupled at ccAt[i] fF each. Same
+// fixture as test_propagate — the incremental tests mutate stage 0 and
+// check the cone.
+std::string chainSpef(const std::vector<int>& aggsAt,
+                      const std::vector<double>& ccAt) {
+    const int n = static_cast<int>(aggsAt.size());
+    std::ostringstream os;
+    os << "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"chain\"\n";
+    os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n\n";
+    for (int i = 0; i < n; ++i) {
+        os << "*D_NET s" << i << " " << (6.5 + aggsAt[i] * ccAt[i]) << "\n";
+        os << "*CONN\n*I c" << i << ":y O\n*I c" << (i + 1) << ":a I\n";
+        os << "*CAP\n1 c" << i << ":y 2.0\n2 s" << i << ":1 3.0\n";
+        os << "3 c" << (i + 1) << ":a 1.5\n";
+        for (int a = 0; a < aggsAt[i]; ++a) {
+            os << (4 + a) << " s" << i << ":1 g" << i << "_" << a << ":1 "
+               << ccAt[i] << "\n";
+        }
+        os << "*RES\n1 c" << i << ":y s" << i << ":1 60\n";
+        os << "2 s" << i << ":1 c" << (i + 1) << ":a 60\n*END\n\n";
+        for (int a = 0; a < aggsAt[i]; ++a) {
+            os << "*D_NET g" << i << "_" << a << " 6.0\n";
+            os << "*CONN\n*I a" << i << "_" << a << ":y O\n*I r" << i << "_"
+               << a << ":a I\n";
+            os << "*CAP\n1 a" << i << "_" << a << ":y 2.0\n2 g" << i << "_"
+               << a << ":1 2.0\n";
+            os << "*RES\n1 a" << i << "_" << a << ":y g" << i << "_" << a
+               << ":1 40\n2 g" << i << "_" << a << ":1 r" << i << "_" << a
+               << ":a 40\n*END\n\n";
+        }
+    }
+    return os.str();
+}
+
+void buildChain(core::Design& d, const std::vector<int>& aggsAt) {
+    const int n = static_cast<int>(aggsAt.size());
+    for (int i = 0; i < n; ++i) {
+        const std::string si = "s" + std::to_string(i);
+        const std::string prev = i == 0 ? "pin" : "s" + std::to_string(i - 1);
+        addInst(d, "c" + std::to_string(i), "INV_X1",
+                {{"a", prev}, {"y", si}});
+        for (int a = 0; a < aggsAt[i]; ++a) {
+            const std::string g =
+                "g" + std::to_string(i) + "_" + std::to_string(a);
+            addInst(d, "a" + std::to_string(i) + "_" + std::to_string(a),
+                    "INV_X4", {{"a", g + "_in"}, {"y", g}});
+        }
+    }
+    addInst(d, "c" + std::to_string(n), "INV_X2",
+            {{"a", "s" + std::to_string(n - 1)}, {"y", "chain_out"}});
+}
+
+core::DesignNoiseOptions cheapOptions() {
+    core::DesignNoiseOptions opt;
+    opt.maxAggressors = 2;
+    opt.report.searchAlignment = false;
+    opt.report.macromodel.loadCurveGrid = 9;
+    return opt;
+}
+
+void expectSameReports(const std::vector<core::NetNoiseReport>& a,
+                       const std::vector<core::NetNoiseReport>& b,
+                       const std::string& label) {
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].net, b[i].net) << label;
+        EXPECT_EQ(a[i].aggressorNets, b[i].aggressorNets)
+            << label << " " << a[i].net;
+        // Bit-identical, not merely close.
+        EXPECT_EQ(a[i].cluster.margin, b[i].cluster.margin)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].cluster.nrcLimit, b[i].cluster.nrcLimit)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].cluster.worst.metrics.peak,
+                  b[i].cluster.worst.metrics.peak)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].cluster.worst.metrics.width,
+                  b[i].cluster.worst.metrics.width)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].cluster.fails, b[i].cluster.fails)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].propagated.present, b[i].propagated.present)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].propagated.fromNet, b[i].propagated.fromNet)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].propagated.height, b[i].propagated.height)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].propagated.localMargin, b[i].propagated.localMargin)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].windows.constrained, b[i].windows.constrained)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].windows.windowedMargin, b[i].windows.windowedMargin)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].windows.unconstrainedMargin,
+                  b[i].windows.unconstrainedMargin)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].windows.excludedAggressors,
+                  b[i].windows.excludedAggressors)
+            << label << " " << a[i].net;
+    }
+}
+
+std::string tmpPath(const std::string& name) {
+    return testing::TempDir() + name;
+}
+
+// ------------------------------------------------------- cache persistence
+
+TEST(CachePersist, SaveLoadRoundTripWarmStartReplacesAllRuns) {
+    const cell::CellLibrary lib(tech::tech130());
+    const auto spef = parser::parseSpef(ringSpef(4));
+    core::Design design(lib);
+    buildRingDesign(design, 4);
+    auto opt = cheapOptions();
+
+    charlib::CharCache cold;
+    opt.cache = &cold;
+    const auto reports = core::analyzeDesign(design, spef, opt);
+    ASSERT_EQ(reports.size(), 4u);
+    const auto coldStats = cold.stats();
+    EXPECT_GT(coldStats.totalRuns(), 0u);
+    EXPECT_EQ(coldStats.totalDiskHits(), 0u);
+
+    const std::string path = tmpPath("sna_roundtrip.snacache");
+    const auto saved = cold.save(path);
+    ASSERT_TRUE(saved.ok) << saved.error;
+    EXPECT_EQ(saved.entries, coldStats.totalRuns());
+    EXPECT_EQ(saved.skipped, 0u);
+
+    charlib::CharCache warm;
+    const auto loaded = warm.load(path);
+    ASSERT_TRUE(loaded.ok) << loaded.error;
+    EXPECT_EQ(loaded.entries, saved.entries);
+
+    opt.cache = &warm;
+    const auto again = core::analyzeDesign(design, spef, opt);
+    const auto warmStats = warm.stats();
+    // Every characterization the cold run performed is served from disk.
+    EXPECT_EQ(warmStats.totalRuns(), 0u);
+    EXPECT_GT(warmStats.totalDiskHits(), 0u);
+    expectSameReports(again, reports, "warm");
+    std::remove(path.c_str());
+}
+
+TEST(CachePersist, VersionMismatchLoadsNothingAndRecomputes) {
+    const std::string path = tmpPath("sna_version.snacache");
+    {
+        std::ofstream os(path);
+        os << "snacache v9\n"
+           << "entry loadcurve 4 k\nabcd\n"
+           << "end 1\n";
+    }
+    charlib::CharCache cache;
+    const auto loaded = cache.load(path);
+    EXPECT_FALSE(loaded.ok);
+    EXPECT_EQ(loaded.entries, 0u);
+    EXPECT_FALSE(loaded.error.empty());
+
+    // The cache is still a perfectly good empty cache.
+    const cell::CellLibrary lib(tech::tech130());
+    const auto spef = parser::parseSpef(ringSpef(4));
+    core::Design design(lib);
+    buildRingDesign(design, 4);
+    auto opt = cheapOptions();
+    opt.cache = &cache;
+    const auto reports = core::analyzeDesign(design, spef, opt);
+    EXPECT_GT(cache.stats().totalRuns(), 0u);
+    EXPECT_EQ(cache.stats().totalDiskHits(), 0u);
+
+    charlib::CharCache fresh;
+    opt.cache = &fresh;
+    expectSameReports(core::analyzeDesign(design, spef, opt), reports,
+                      "after bad load");
+    std::remove(path.c_str());
+}
+
+TEST(CachePersist, TruncatedFileKeepsValidPrefixAndRecomputesRest) {
+    const cell::CellLibrary lib(tech::tech130());
+    const auto spef = parser::parseSpef(ringSpef(4));
+    core::Design design(lib);
+    buildRingDesign(design, 4);
+    auto opt = cheapOptions();
+
+    charlib::CharCache cold;
+    opt.cache = &cold;
+    const auto reports = core::analyzeDesign(design, spef, opt);
+    const std::string path = tmpPath("sna_truncated.snacache");
+    ASSERT_TRUE(cold.save(path).ok);
+
+    // Chop the file mid-way: the valid prefix must load, the tail must be
+    // skipped, and the analysis must recompute the difference exactly.
+    std::string full;
+    {
+        std::ifstream is(path);
+        std::ostringstream os;
+        os << is.rdbuf();
+        full = os.str();
+    }
+    {
+        std::ofstream os(path, std::ios::trunc);
+        os << full.substr(0, full.size() / 2);
+    }
+    charlib::CharCache warm;
+    const auto loaded = warm.load(path);
+    EXPECT_FALSE(loaded.ok);  // no trailer: reported as incomplete
+    EXPECT_LT(loaded.entries, cold.stats().totalRuns());
+
+    opt.cache = &warm;
+    const auto again = core::analyzeDesign(design, spef, opt);
+    const auto warmStats = warm.stats();
+    EXPECT_GT(warmStats.totalRuns(), 0u);   // the chopped tail
+    EXPECT_GT(warmStats.totalDiskHits(), 0u);  // the surviving prefix
+    expectSameReports(again, reports, "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(CachePersist, WrongTechnologyKeysNeverHit) {
+    const auto spef = parser::parseSpef(ringSpef(4));
+    auto opt = cheapOptions();
+
+    const std::string path = tmpPath("sna_wrongtech.snacache");
+    {
+        const cell::CellLibrary lib130(tech::tech130());
+        core::Design design(lib130);
+        buildRingDesign(design, 4);
+        charlib::CharCache cache;
+        opt.cache = &cache;
+        core::analyzeDesign(design, spef, opt);
+        ASSERT_TRUE(cache.save(path).ok);
+    }
+
+    // A perturbed supply is a different electrical identity: every key from
+    // the file misses and the run re-characterizes everything.
+    tech::Technology corner = tech::tech130();
+    corner.vdd = 1.08;
+    const cell::CellLibrary lib(corner);
+    core::Design design(lib);
+    buildRingDesign(design, 4);
+
+    charlib::CharCache warm;
+    ASSERT_TRUE(warm.load(path).ok);
+    opt.cache = &warm;
+    core::analyzeDesign(design, spef, opt);
+    const auto stats = warm.stats();
+    EXPECT_EQ(stats.totalDiskHits(), 0u);
+    EXPECT_GT(stats.totalRuns(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CachePersist, ConcurrentLoadIntoWarmCacheKeepsResultsIdentical) {
+    const cell::CellLibrary lib(tech::tech130());
+    const auto spef = parser::parseSpef(ringSpef(4));
+    core::Design design(lib);
+    buildRingDesign(design, 4);
+    auto opt = cheapOptions();
+
+    charlib::CharCache reference;
+    opt.cache = &reference;
+    const auto expected = core::analyzeDesign(design, spef, opt);
+    const std::string path = tmpPath("sna_concurrent.snacache");
+    ASSERT_TRUE(reference.save(path).ok);
+
+    // load() races against four workers characterizing into the same cache;
+    // present keys are skipped, so single-flight survives and the margins
+    // cannot change.
+    charlib::CharCache shared;
+    opt.cache = &shared;
+    opt.threads = 4;
+    std::thread loader([&] {
+        for (int i = 0; i < 5; ++i) shared.load(path);
+    });
+    const auto reports = core::analyzeDesign(design, spef, opt);
+    loader.join();
+    expectSameReports(reports, expected, "concurrent load");
+
+    // Whatever mixture of disk and computed entries won the race, the work
+    // adds up: every request was a run, a memory hit, or a disk hit.
+    const auto stats = shared.stats();
+    EXPECT_GT(stats.totalRuns() + stats.totalDiskHits(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CachePersist, TinyLimitsCountOverflowAndStayCorrect) {
+    const cell::CellLibrary lib(tech::tech130());
+    const auto spef = parser::parseSpef(ringSpef(4));
+    core::Design design(lib);
+    buildRingDesign(design, 4);
+    auto opt = cheapOptions();
+
+    charlib::CharCache unbounded;
+    opt.cache = &unbounded;
+    const auto expected = core::analyzeDesign(design, spef, opt);
+    ASSERT_EQ(unbounded.stats().totalOverflow(), 0u);
+
+    charlib::CharCache tiny;
+    charlib::CharCache::Limits limits;
+    limits.loadCurves = 1;
+    limits.thevenins = 1;
+    limits.nrcs = 1;
+    limits.propagations = 1;
+    tiny.setLimits(limits);
+    EXPECT_EQ(tiny.limits().loadCurves, 1u);
+    opt.cache = &tiny;
+    const auto reports = core::analyzeDesign(design, spef, opt);
+    const auto stats = tiny.stats();
+    // Two drive strengths at two levels need more than one entry per table:
+    // the bound forces compute-without-store, counted as overflow…
+    EXPECT_GT(stats.totalOverflow(), 0u);
+    // …and a bounded cache can only lose speed, never accuracy.
+    expectSameReports(reports, expected, "tiny limits");
+
+    // A save() of the bounded cache only carries what was stored.
+    const std::string path = tmpPath("sna_tiny.snacache");
+    const auto saved = tiny.save(path);
+    ASSERT_TRUE(saved.ok) << saved.error;
+    EXPECT_LE(saved.entries, 4u);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- dirty cone
+
+TEST(DirtyCone, SeedsNeighborsAndDownstreamClosure) {
+    const cell::CellLibrary lib(tech::tech130());
+    const std::vector<int> aggs{1, 1, 0};
+    const auto spef = parser::parseSpef(chainSpef(aggs, {20.0, 10.0, 0.0}));
+    core::Design design(lib);
+    buildChain(design, aggs);
+    core::DesignIndex index(design, spef);
+
+    // Flat mode: the seed and the clusters that read it as an aggressor.
+    std::size_t neighbors = 0;
+    const auto flat =
+        core::expandDirtyCone(index, {"s0"}, false, &neighbors);
+    EXPECT_TRUE(flat.count("s0"));
+    EXPECT_TRUE(flat.count("g0_0"));  // coupled neighbor
+    EXPECT_FALSE(flat.count("s1"));   // downstream only
+    EXPECT_FALSE(flat.count("g1_0"));
+    EXPECT_EQ(neighbors, 1u);
+
+    // Wavefront: everything downstream of a re-solved net re-solves too,
+    // but coupling dirtiness does not spread from the downstream adds.
+    const auto wave = core::expandDirtyCone(index, {"s0"}, true);
+    EXPECT_TRUE(wave.count("s0"));
+    EXPECT_TRUE(wave.count("g0_0"));
+    EXPECT_TRUE(wave.count("s1"));
+    EXPECT_TRUE(wave.count("s2"));
+    EXPECT_TRUE(wave.count("chain_out"));
+    EXPECT_FALSE(wave.count("g1_0"));  // aggressor of a downstream net
+    EXPECT_FALSE(wave.count("pin"));   // upstream of the seed
+
+    // A seed the index has never heard of marks nothing extra.
+    const auto unknown = core::expandDirtyCone(index, {"no_such"}, true);
+    EXPECT_EQ(unknown.size(), 1u);
+}
+
+// ----------------------------------------------------------- replaceCell
+
+TEST(ReplaceCell, SwapsPinCompatibleCellsAndRejectsOthers) {
+    const cell::CellLibrary lib(tech::tech130());
+    core::Design design(lib);
+    addInst(design, "u1", "INV_X1", {{"a", "in"}, {"y", "out"}});
+    addInst(design, "u2", "NAND2_X1",
+            {{"a", "in"}, {"b", "in2"}, {"y", "out2"}});
+
+    design.replaceCell("u1", "INV_X2");
+    EXPECT_EQ(design.instances()[0].cellName, "INV_X2");
+    design.replaceCell("u1", "INV_X2");  // same cell: no-op
+    EXPECT_EQ(design.instances()[0].cellName, "INV_X2");
+
+    // Different pin list — the connectivity would dangle.
+    EXPECT_THROW(design.replaceCell("u1", "NAND2_X1"), ModelError);
+    EXPECT_THROW(design.replaceCell("u2", "INV_X1"), ModelError);
+    EXPECT_THROW(design.replaceCell("nope", "INV_X1"), ModelError);
+    EXPECT_THROW(design.replaceCell("u1", "NOT_A_CELL"), ModelError);
+}
+
+// ------------------------------------------------- incremental re-analysis
+
+// Cold-run + mutate + incremental vs cold-run-on-mutated, at several thread
+// counts, for one option set. `lastStats` (optional) receives the
+// incremental stats of the last thread count.
+void checkIncrementalBitIdentity(const core::DesignNoiseOptions& baseOpt,
+                                 bool couplingDelta,
+                                 core::IncrementalStats* lastStats = nullptr) {
+    const cell::CellLibrary lib(tech::tech130());
+    const std::vector<int> aggs{2, 1, 1, 0};
+    const auto spef = parser::parseSpef(chainSpef(aggs, {30.0, 10.0, 8.0, 0.0}));
+    const auto spefEco =
+        parser::parseSpef(chainSpef(aggs, {18.0, 10.0, 8.0, 0.0}));
+    core::IncrementalStats last;
+
+    for (const int threads : {1, 4, 8}) {
+        core::Design design(lib);
+        buildChain(design, aggs);
+        auto opt = baseOpt;
+        opt.threads = threads;
+        charlib::CharCache cache;
+        opt.cache = &cache;
+
+        core::AnalysisSnapshot snapshot;
+        opt.snapshot = &snapshot;
+        core::analyzeDesign(design, spef, opt);
+        ASSERT_TRUE(snapshot.valid) << "threads=" << threads;
+        opt.snapshot = nullptr;
+
+        // The ECO: resize the chain-tail driver (s2's receiver and s3's
+        // driver — victims s0 and s1 stay clean), and optionally
+        // re-extract s0.
+        design.replaceCell("c3", "INV_X2");
+        core::DesignDelta delta;
+        delta.instances.push_back("c3");
+        const parser::SpefFile* ecoSpef = &spef;
+        if (couplingDelta) {
+            delta.nets.push_back("s0");
+            ecoSpef = &spefEco;
+        }
+
+        core::IncrementalStats stats;
+        const auto fast = core::analyzeDesignIncremental(
+            design, *ecoSpef, delta, snapshot, opt, &stats);
+        const auto full = core::analyzeDesign(design, *ecoSpef, opt);
+        expectSameReports(fast, full,
+                          "threads=" + std::to_string(threads));
+
+        EXPECT_FALSE(stats.indexRebuilt) << "threads=" << threads;
+        EXPECT_GT(stats.dirtyTasks, 0u);
+        EXPECT_LT(stats.dirtyTasks, stats.totalTasks)
+            << "threads=" << threads;
+        if (!couplingDelta) {
+            // Stage 0 is upstream of the resized driver: spliced, not
+            // re-solved.
+            EXPECT_GT(stats.reusedVictimReports, 0u);
+        }
+        last = stats;
+    }
+    if (lastStats != nullptr) *lastStats = last;
+}
+
+TEST(Incremental, FlatSweepBitIdenticalAcrossThreads) {
+    auto opt = cheapOptions();
+    opt.propagate = false;
+    core::IncrementalStats stats;
+    checkIncrementalBitIdentity(opt, false, &stats);
+    // Flat mode has no downstream closure: the cone is the pins of the
+    // replaced instance plus coupled neighbors.
+    EXPECT_LE(stats.dirtyTasks, 5u);
+}
+
+TEST(Incremental, WavefrontBitIdenticalAcrossThreads) {
+    auto opt = cheapOptions();
+    opt.propagate = true;
+    core::IncrementalStats stats;
+    checkIncrementalBitIdentity(opt, false, &stats);
+    EXPECT_GT(stats.scheduler.tasksExecuted, 0u);
+    EXPECT_EQ(stats.scheduler.tasksExecuted, stats.dirtyTasks);
+}
+
+TEST(Incremental, WavefrontWithCouplingDeltaBitIdentical) {
+    auto opt = cheapOptions();
+    opt.propagate = true;
+    checkIncrementalBitIdentity(opt, true);
+}
+
+TEST(Incremental, WindowedWavefrontBitIdentical) {
+    core::TimingWindows windows;
+    windows.set("g0_0_in", {0.0, 150e-12});
+    windows.set("g1_0_in", {50e-12, 400e-12});
+    windows.set("pin", {0.0, 100e-12});
+    auto opt = cheapOptions();
+    opt.propagate = true;
+    opt.windows = &windows;
+    checkIncrementalBitIdentity(opt, false);
+}
+
+TEST(Incremental, ConnectivityChangeFallsBackToFullRunAndRecaptures) {
+    const cell::CellLibrary lib(tech::tech130());
+    const std::vector<int> aggs{2, 1};
+    const auto spef = parser::parseSpef(chainSpef(aggs, {30.0, 10.0}));
+    core::Design design(lib);
+    buildChain(design, aggs);
+    auto opt = cheapOptions();
+    opt.propagate = true;
+    charlib::CharCache cache;
+    opt.cache = &cache;
+
+    core::AnalysisSnapshot snapshot;
+    opt.snapshot = &snapshot;
+    core::analyzeDesign(design, spef, opt);
+    ASSERT_TRUE(snapshot.valid);
+    opt.snapshot = nullptr;
+
+    // A new receiver on s1 is a structural change: the caller flags it and
+    // the engine rebuilds instead of splicing.
+    addInst(design, "spy", "INV_X1", {{"a", "s1"}, {"y", "spy_out"}});
+    core::DesignDelta delta;
+    delta.connectivityChanged = true;
+    core::IncrementalStats stats;
+    const auto fast = core::analyzeDesignIncremental(design, spef, delta,
+                                                     snapshot, opt, &stats);
+    EXPECT_TRUE(stats.indexRebuilt);
+    EXPECT_TRUE(snapshot.valid);
+    const auto full = core::analyzeDesign(design, spef, opt);
+    expectSameReports(fast, full, "connectivity");
+
+    // Even without the flag, the instance-count check refuses the splice —
+    // the snapshot was captured before the spy existed.
+    addInst(design, "spy2", "INV_X1", {{"a", "s0"}, {"y", "spy2_out"}});
+    core::IncrementalStats stats2;
+    const auto fast2 = core::analyzeDesignIncremental(
+        design, spef, {}, snapshot, opt, &stats2);
+    EXPECT_TRUE(stats2.indexRebuilt);
+    expectSameReports(fast2, core::analyzeDesign(design, spef, opt),
+                      "stale count");
+}
+
+TEST(Incremental, OptionChangeInvalidatesTheSplice) {
+    const cell::CellLibrary lib(tech::tech130());
+    const std::vector<int> aggs{1, 1};
+    const auto spef = parser::parseSpef(chainSpef(aggs, {20.0, 10.0}));
+    core::Design design(lib);
+    buildChain(design, aggs);
+    auto opt = cheapOptions();
+    opt.propagate = true;
+
+    core::AnalysisSnapshot snapshot;
+    opt.snapshot = &snapshot;
+    core::analyzeDesign(design, spef, opt);
+    opt.snapshot = nullptr;
+
+    // Same design, different analysis knob: clean nets would carry verdicts
+    // of the old option set, so the engine must run full.
+    opt.maxAggressors = 1;
+    core::IncrementalStats stats;
+    const auto fast = core::analyzeDesignIncremental(design, spef, {},
+                                                     snapshot, opt, &stats);
+    EXPECT_TRUE(stats.indexRebuilt);
+    expectSameReports(fast, core::analyzeDesign(design, spef, opt),
+                      "option change");
+
+    // The refreshed snapshot carries the new fingerprint: a following
+    // incremental call with the same options splices again.
+    core::IncrementalStats stats2;
+    design.replaceCell("c0", "INV_X2");
+    core::DesignDelta delta;
+    delta.instances.push_back("c0");
+    core::analyzeDesignIncremental(design, spef, delta, snapshot, opt,
+                                   &stats2);
+    EXPECT_FALSE(stats2.indexRebuilt);
+}
+
+// ------------------------------------------------------ thread resolution
+
+TEST(Threads, ZeroResolvesToHardwareConcurrency) {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    const int expected = hw > 0 ? hw : 1;
+    EXPECT_EQ(util::resolveThreadCount(0), expected);
+    EXPECT_EQ(util::resolveThreadCount(1), 1);
+    EXPECT_EQ(util::resolveThreadCount(-3), 1);
+    EXPECT_EQ(util::resolveThreadCount(6), 6);
+}
+
+TEST(Threads, SchedulerStatsReportResolvedWorkerCount) {
+    const cell::CellLibrary lib(tech::tech130());
+    const std::vector<int> aggs{1, 1};
+    const auto spef = parser::parseSpef(chainSpef(aggs, {20.0, 10.0}));
+    core::Design design(lib);
+    buildChain(design, aggs);
+    auto opt = cheapOptions();
+    opt.propagate = true;
+
+    util::SchedulerStats ss;
+    opt.schedulerStats = &ss;
+    opt.threads = 4;
+    core::analyzeDesign(design, spef, opt);
+    EXPECT_EQ(ss.workers, 4);
+
+    opt.threads = 1;
+    core::analyzeDesign(design, spef, opt);
+    EXPECT_EQ(ss.workers, 1);
+
+    opt.threads = 0;
+    core::analyzeDesign(design, spef, opt);
+    EXPECT_EQ(ss.workers, util::resolveThreadCount(0));
+}
+
+}  // namespace
