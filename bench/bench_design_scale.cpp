@@ -49,6 +49,7 @@
 #include "core/design_index.hpp"
 #include "core/incremental.hpp"
 #include "core/sna.hpp"
+#include "lint/lint.hpp"
 #include "interconnect/parallel_bus.hpp"
 #include "parser/windows_parser.hpp"
 #include "util/table.hpp"
@@ -184,6 +185,13 @@ struct Row {
     double prop4Sec = 0.0;
     double propMarginDiff = 0.0;  ///< t=1 vs t=4 wavefront, must be 0
     std::size_t levels = 0;
+    // Design lint over the chained variant (same DesignIndex as `levels`).
+    // The synthetic designs are well-formed, so the counts double as a
+    // clean-input regression check (CI asserts errors == warnings == 0).
+    double lintSec = 0.0;
+    std::size_t lintErrors = 0;
+    std::size_t lintWarnings = 0;
+    std::size_t lintInfos = 0;
     // Task-graph scheduler counters from the max-thread propagate run.
     std::size_t schedTasks = 0;
     std::size_t schedSteals = 0;
@@ -347,8 +355,18 @@ int main(int argc, char** argv) {
         const auto chainSpef = parser::parseSpef(syntheticSpef(n, 2.2, 4));
         core::Design chained(lib);
         buildChainedDesign(chained, n, chains);
-        row.levels =
-            core::DesignIndex(chained, chainSpef).levels().levels.size();
+        const core::DesignIndex chainedIndex(chained, chainSpef);
+        row.levels = chainedIndex.levels().levels.size();
+
+        // Design lint over the already-built index: pure static stages (no
+        // characterization), timed as its own pipeline step.
+        t0 = std::chrono::steady_clock::now();
+        const lint::LintReport lintRep =
+            lint::lintDesign(chainedIndex, chainSpef);
+        row.lintSec = seconds(t0);
+        row.lintErrors = lintRep.errors();
+        row.lintWarnings = lintRep.warnings();
+        row.lintInfos = lintRep.infos();
 
         // Propagated wavefront across the same thread sweep (task-graph
         // scheduling); the max-thread run also reports its scheduler
@@ -568,10 +586,10 @@ int main(int argc, char** argv) {
     std::printf("Design-scale noise analysis throughput\n\n%s\n",
                 table.str().c_str());
 
-    util::Table ptable({"Nets", "Levels", "Prop sweep t:s",
-                        "Max |dMargin| sweep (V)", "Barrier |dMargin| (V)",
-                        "Prop-table runs", "Max margin drop (V)",
-                        "Combined-only fails"});
+    util::Table ptable({"Nets", "Levels", "Lint (s)", "Lint E/W/I",
+                        "Prop sweep t:s", "Max |dMargin| sweep (V)",
+                        "Barrier |dMargin| (V)", "Prop-table runs",
+                        "Max margin drop (V)", "Combined-only fails"});
     for (const auto& r : rows) {
         std::ostringstream sw;
         for (std::size_t k = 0; k < r.sweep.size(); ++k) {
@@ -579,6 +597,10 @@ int main(int argc, char** argv) {
                << util::Table::num(r.sweep[k].propSec, 2);
         }
         ptable.addRow({std::to_string(r.nets), std::to_string(r.levels),
+                       util::Table::num(r.lintSec, 4),
+                       std::to_string(r.lintErrors) + "/" +
+                           std::to_string(r.lintWarnings) + "/" +
+                           std::to_string(r.lintInfos),
                        sw.str(), util::Table::num(r.propMarginDiff, 12),
                        util::Table::num(r.barrierMarginDiff, 12),
                        std::to_string(r.propagationRuns),
@@ -675,7 +697,9 @@ int main(int argc, char** argv) {
             "\"speedup\": %s, \"max_margin_diff\": %.3e, "
             "\"load_curve_runs\": %zu, \"nrc_runs\": %zu, "
             "\"threads_sweep\": [%s], "
-            "\"levels\": %zu, \"propagate_t1_sec\": %.4f, "
+            "\"levels\": %zu, \"lint_sec\": %.4f, \"lint_errors\": %zu, "
+            "\"lint_warnings\": %zu, \"lint_infos\": %zu, "
+            "\"propagate_t1_sec\": %.4f, "
             "\"propagate_t4_sec\": %.4f, \"propagate_margin_diff\": %.3e, "
             "\"barrier_margin_diff\": %.3e, "
             "\"scheduler_tasks\": %zu, \"scheduler_steals\": %zu, "
@@ -696,7 +720,8 @@ int main(int argc, char** argv) {
             "\"eco_full_sec\": %.4f, \"incremental_margin_diff\": %.3e}",
             i == 0 ? "" : ", ", r.nets, r.reports, refStr.c_str(), r.opt1Sec,
             r.opt4Sec, speedupStr.c_str(), r.marginDiff, r.loadCurveRuns,
-            r.nrcRuns, sweepJson.str().c_str(), r.levels, r.prop1Sec,
+            r.nrcRuns, sweepJson.str().c_str(), r.levels, r.lintSec,
+            r.lintErrors, r.lintWarnings, r.lintInfos, r.prop1Sec,
             r.prop4Sec, r.propMarginDiff, r.barrierMarginDiff, r.schedTasks,
             r.schedSteals, r.schedMaxReady, busyJson.str().c_str(),
             r.propagationRuns, r.maxMarginDrop, r.combinedOnlyFails,

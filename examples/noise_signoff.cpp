@@ -19,18 +19,28 @@
 // pessimism — the report then shows the unconstrained margin next to the
 // windowed one.
 //
-// Build & run:  ./build/noise_signoff [--cache signoff.snacache]
+// Build & run:
+//   ./build/noise_signoff [--cache signoff.snacache] [--lint[=strict]]
+//                         [--waivers FILE]
 // --cache warm-starts the characterization cache from the given file when
 // it exists and saves it back after the run: the second invocation serves
 // every load curve, Thevenin model, NRC, and propagation table from disk
 // and characterizes nothing.
+// --lint runs the design checker (lint/lint.hpp) before the analysis and
+// prints every diagnostic; --lint=strict refuses to analyze a design with
+// unwaived errors. --waivers FILE suppresses known-benign findings by
+// "RULE [OBJECT]" lines; waivers that match nothing are reported. Exit
+// codes: 0 clean (waived findings and warnings included), 1 usage or I/O
+// error, 2 unwaived lint errors.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "core/sna.hpp"
 #include "interconnect/parallel_bus.hpp"
+#include "lint/lint.hpp"
 #include "parser/windows_parser.hpp"
 #include "util/table.hpp"
 
@@ -75,15 +85,44 @@ std::string chainSpef() {
 int main(int argc, char** argv) {
     using namespace sna;
     std::string cachePath;
+    std::string waiversPath;
+    lint::Mode lintMode = lint::Mode::off;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
             cachePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--lint") == 0) {
+            lintMode = lint::Mode::warn;
+        } else if (std::strcmp(argv[i], "--lint=strict") == 0) {
+            lintMode = lint::Mode::strict;
+        } else if (std::strcmp(argv[i], "--waivers") == 0 && i + 1 < argc) {
+            waiversPath = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--cache FILE]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--cache FILE] [--lint[=strict]] "
+                         "[--waivers FILE]\n",
+                         argv[0]);
             return 1;
         }
     }
     const cell::CellLibrary lib(tech::tech130());
+
+    std::vector<parser::Waiver> waivers;
+    if (!waiversPath.empty()) {
+        std::ifstream in(waiversPath);
+        if (!in) {
+            std::fprintf(stderr, "cannot read waiver file '%s'\n",
+                         waiversPath.c_str());
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        try {
+            waivers = parser::parseWaivers(text.str());
+        } catch (const Error& e) {
+            std::fprintf(stderr, "%s: %s\n", waiversPath.c_str(), e.what());
+            return 1;
+        }
+    }
 
     const auto spef = parser::parseSpef(chainSpef());
     std::printf("parsed SPEF '%s': %zu nets\n", spef.design().c_str(),
@@ -106,6 +145,12 @@ int main(int argc, char** argv) {
         for (int a = 0; a < 3; ++a) {
             const std::string g = v + "_g" + std::to_string(a);
             inst(g + "_d", "INV_X4", {{"a", g + "_in"}, {"y", g}});
+            // The SPEF routes each aggressor into a receiver pin (g_r:a);
+            // instantiate it so the netlist matches the parasitics — a
+            // driven net with no design receiver is exactly what lint rule
+            // SNA-L102 flags. The aggressor nets thereby become victim
+            // clusters of their own (they couple back into the stage nets).
+            inst(g + "_r", "INV_X1", {{"a", g}, {"y", g + "_o"}});
         }
     }
 
@@ -124,7 +169,37 @@ int main(int argc, char** argv) {
         }
     }
     opt.cache = &cache;
-    const auto reports = core::analyzeDesign(design, spef, opt);
+    opt.lint = lintMode;
+    opt.lintWaivers = waivers.empty() ? nullptr : &waivers;
+    lint::LintReport lintReport;
+    opt.lintOut = &lintReport;
+
+    std::vector<core::NetNoiseReport> reports;
+    try {
+        reports = core::analyzeDesign(design, spef, opt);
+    } catch (const lint::LintError& e) {
+        for (const auto& d : e.report().diagnostics) {
+            std::fprintf(stderr, "lint: %s\n", d.str().c_str());
+        }
+        std::fprintf(stderr, "%s — refusing to analyze (--lint=strict)\n",
+                     e.report().summary().c_str());
+        return 2;
+    }
+    bool lintFailed = false;
+    if (lintMode != lint::Mode::off) {
+        for (const auto& d : lintReport.diagnostics) {
+            std::printf("lint: %s\n", d.str().c_str());
+        }
+        // Re-applying the waivers to a copy is idempotent; it returns the
+        // waivers that matched nothing — each a stale entry worth pruning.
+        lint::LintReport scratch = lintReport;
+        for (const auto& w : lint::applyWaivers(scratch, waivers)) {
+            std::printf("lint: unused waiver (line %d): %s %s\n", w.line,
+                        w.rule.c_str(), w.object.c_str());
+        }
+        std::printf("%s\n\n", lintReport.summary().c_str());
+        lintFailed = lintReport.hasErrors();
+    }
 
     util::Table table({"Victim net", "Driver", "Incoming from",
                        "In height (V)", "Worst peak (V)", "NRC limit (V)",
@@ -160,6 +235,10 @@ int main(int argc, char** argv) {
         "vic2_g2  1600 1800\n");
     core::DesignNoiseOptions wopt = opt;
     wopt.windows = &windows;
+    // The design was already linted (and gated) above; re-linting the
+    // windowed pass would just repeat every finding.
+    wopt.lint = lint::Mode::off;
+    wopt.lintOut = nullptr;
     const auto windowed = core::analyzeDesign(design, spef, wopt);
 
     util::Table wtable({"Victim net", "Window (ps)", "Unconstr margin (V)",
@@ -203,5 +282,7 @@ int main(int argc, char** argv) {
                          saved.error.c_str());
         }
     }
-    return 0;
+    // Non-zero exit on unwaived lint errors, after the full report printed:
+    // warn mode analyzes anyway but still fails the signoff gate.
+    return lintFailed ? 2 : 0;
 }

@@ -38,6 +38,15 @@ void CellLibrary::define(const std::string& name, std::vector<Pin> pins,
                               std::move(logic)));
 }
 
+void CellLibrary::addCell(const std::string& name, std::vector<Pin> pins,
+                          std::vector<TransistorSpec> fets,
+                          Cell::LogicFn logic) {
+    if (has(name)) {
+        throw ModelError("cell '" + name + "' is already defined");
+    }
+    define(name, std::move(pins), std::move(fets), std::move(logic));
+}
+
 CellLibrary::CellLibrary(const tech::Technology& tech) : tech_(&tech) {
     const double l = tech.lmin;
     const double wn = tech.wnUnit;

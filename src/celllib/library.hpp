@@ -25,6 +25,12 @@ public:
     const Cell& cell(const std::string& name) const;
     std::vector<std::string> names() const;
 
+    /// Define an extra cell next to the bundled set — the seam for user
+    /// libraries and for lint tests that need a deliberately broken cell.
+    /// Throws ModelError if the name is already taken.
+    void addCell(const std::string& name, std::vector<Pin> pins,
+                 std::vector<TransistorSpec> fets, Cell::LogicFn logic);
+
 private:
     void define(const std::string& name, std::vector<Pin> pins,
                 std::vector<TransistorSpec> fets, Cell::LogicFn logic);

@@ -36,7 +36,9 @@
 namespace sna::core {
 
 /// What an ECO changed since the snapshot's run. Names the engine does not
-/// recognize are harmless (they mark nothing).
+/// recognize mark nothing dirty; with DesignNoiseOptions::lint enabled they
+/// are reported as SNA-L501/L502 (errors) before the run — in strict mode a
+/// typo'd delta throws instead of silently splicing stale results.
 struct DesignDelta {
     /// SPEF net sections whose parasitics were re-extracted (the SpefFile
     /// passed to analyzeDesignIncremental carries the new values). Also
@@ -69,6 +71,9 @@ struct AnalysisSnapshot {
     std::unordered_map<std::string, NetNoiseReport> quietReports;
     std::unordered_map<std::string, SurvivingSet> surviving;
     std::unordered_map<std::string, TimingWindow> netWindows;
+    /// Waiver-applied diagnostics of the captured run's lint pass; empty
+    /// when DesignNoiseOptions::lint was off.
+    std::vector<lint::Diagnostic> lint;
 };
 
 /// Observability counters for one incremental call.

@@ -133,9 +133,11 @@ TimingWindow propagateWindowThroughDriver(const cell::Cell& cell,
 }
 
 std::unordered_map<std::string, TimingWindow> propagateWindows(
-    const DesignIndex& index, charlib::CharCache* cache) {
+    const DesignIndex& index, charlib::CharCache* cache,
+    const TimingWindows* windows) {
     std::unordered_map<std::string, TimingWindow> out;
-    const TimingWindows* explicitWindows = index.timingWindows();
+    const TimingWindows* explicitWindows =
+        windows != nullptr ? windows : index.timingWindows();
     for (const auto& levelNets : index.levels().levels) {
         for (const std::string& net : levelNets) {
             if (explicitWindows != nullptr) {

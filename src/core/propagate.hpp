@@ -107,13 +107,17 @@ TimingWindow propagateWindowThroughDriver(const cell::Cell& cell,
                                           charlib::CharCache* cache);
 
 /// FRAME-style window propagation over the whole levelized design graph:
-/// nets with an explicit entry in `index.timingWindows()` keep it; every
-/// other net takes the union (hull) of its fanin windows, each shifted
-/// through the stage via propagateWindowThroughDriver; nets with no fanin
-/// and no entry default to the unbounded window. Returns one window per net
-/// of the level graph. Deterministic: levels run in order and fanin edges
-/// are pre-sorted.
+/// nets with an explicit entry in the window set keep it; every other net
+/// takes the union (hull) of its fanin windows, each shifted through the
+/// stage via propagateWindowThroughDriver; nets with no fanin and no entry
+/// default to the unbounded window. Returns one window per net of the level
+/// graph. Deterministic: levels run in order and fanin edges are
+/// pre-sorted. `windows` overrides the explicit window set; nullptr (the
+/// pipeline default) reads `index.timingWindows()` — the override lets the
+/// lint hull check (SNA-L303) propagate a candidate window set without
+/// mutating the index.
 std::unordered_map<std::string, TimingWindow> propagateWindows(
-    const DesignIndex& index, charlib::CharCache* cache);
+    const DesignIndex& index, charlib::CharCache* cache,
+    const TimingWindows* windows = nullptr);
 
 }  // namespace sna::core

@@ -14,6 +14,7 @@
 #include "core/design_index.hpp"
 #include "core/incremental.hpp"
 #include "core/propagate.hpp"
+#include "lint/lint.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -247,8 +248,8 @@ NetNoiseReport analyzeVictim(
 
 /// Scalar analysis options that change per-net results, encoded bitwise. A
 /// snapshot whose fingerprint differs cannot splice: a clean net's retained
-/// report was computed under different knobs. Thread count and wavefront
-/// mode are deliberately absent — they never change a value.
+/// report was computed under different knobs. Thread count, wavefront mode,
+/// and the lint mode are deliberately absent — they never change a value.
 std::string fingerprintOf(const DesignNoiseOptions& opt) {
     std::ostringstream os;
     const auto put = [&os](double v) {
@@ -892,6 +893,24 @@ std::vector<NetNoiseReport> analyzeWithIndex(
     return reports;
 }
 
+/// The shared lint gate: run the checker, apply waivers, publish the report
+/// through `opt.lintOut` (and `snapshotLint` when given), and throw
+/// lint::LintError in strict mode on surviving errors. The checker only
+/// reads the index (and characterizes window-hull Thevenins through the
+/// shared cache — values the analysis would compute identically anyway), so
+/// warn mode cannot perturb a single analysis bit.
+void runLintGate(lint::LintReport& report, const DesignNoiseOptions& opt,
+                 std::vector<lint::Diagnostic>* snapshotLint) {
+    if (opt.lintWaivers != nullptr) {
+        lint::applyWaivers(report, *opt.lintWaivers);
+    }
+    if (snapshotLint != nullptr) *snapshotLint = report.diagnostics;
+    if (opt.lintOut != nullptr) *opt.lintOut = report;
+    if (opt.lint == lint::Mode::strict && report.hasErrors()) {
+        throw lint::LintError(report);
+    }
+}
+
 }  // namespace
 
 std::vector<NetNoiseReport> analyzeDesign(const Design& design,
@@ -899,6 +918,15 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                                           const DesignNoiseOptions& opt) {
     auto index = std::make_unique<DesignIndex>(
         design, spef, opt.propagate ? opt.windows : nullptr);
+    if (opt.lint != lint::Mode::off) {
+        lint::LintOptions lo;
+        lo.nrc = opt.report.nrc;
+        lo.cache = opt.cache;
+        lo.loadCurveGrid = opt.report.macromodel.loadCurveGrid;
+        lint::LintReport lr = lint::lintDesign(*index, spef, lo);
+        runLintGate(lr, opt,
+                    opt.snapshot != nullptr ? &opt.snapshot->lint : nullptr);
+    }
     std::vector<NetNoiseReport> reports = analyzeWithIndex(
         design, spef, opt, *index, nullptr, nullptr, opt.snapshot);
     if (opt.snapshot != nullptr) {
@@ -919,6 +947,15 @@ std::vector<NetNoiseReport> analyzeDesignIncremental(
     IncrementalStats& st = statsOut != nullptr ? *statsOut : localStats;
     st = IncrementalStats{};
 
+    // Delta validity (SNA-L501/L502) gates the run before the snapshot is
+    // touched: a typo'd delta marks nothing dirty and would otherwise
+    // silently splice stale results for the net the user meant.
+    lint::LintReport deltaReport;
+    if (opt.lint != lint::Mode::off) {
+        deltaReport = lint::lintDelta(design, spef, delta);
+        runLintGate(deltaReport, opt, nullptr);
+    }
+
     const std::string fp = fingerprintOf(opt);
     const bool reusable =
         snapshot.valid && snapshot.index != nullptr &&
@@ -936,6 +973,14 @@ std::vector<NetNoiseReport> analyzeDesignIncremental(
         full.snapshot = &snapshot;
         std::vector<NetNoiseReport> reports =
             analyzeDesign(design, spef, full);
+        if (opt.lint != lint::Mode::off && opt.lintOut != nullptr) {
+            // The full re-lint overwrote lintOut; the delta findings (all
+            // waived here, or strict would have thrown above) still belong
+            // in front of it.
+            opt.lintOut->diagnostics.insert(opt.lintOut->diagnostics.begin(),
+                                            deltaReport.diagnostics.begin(),
+                                            deltaReport.diagnostics.end());
+        }
         st.totalTasks = opt.propagate
                             ? snapshot.index->taskGraph().nets.size()
                             : snapshot.victimReports.size();

@@ -14,7 +14,9 @@
 
 #include "core/report.hpp"
 #include "core/timing_windows.hpp"
+#include "lint/diagnostic.hpp"
 #include "parser/spef_parser.hpp"
+#include "parser/waivers_parser.hpp"
 #include "util/task_scheduler.hpp"
 
 namespace sna::core {
@@ -174,6 +176,18 @@ struct DesignNoiseOptions {
     /// iterations can run analyzeDesignIncremental against it. See
     /// core/incremental.hpp.
     AnalysisSnapshot* snapshot = nullptr;
+    /// Design lint (lint/lint.hpp). off skips the checker entirely; warn
+    /// runs it right after the index is built and publishes the report via
+    /// `lintOut` and the snapshot — every analysis value stays bit-identical
+    /// to off; strict additionally throws lint::LintError before anything
+    /// solves when unwaived errors remain. analyzeDesignIncremental lints
+    /// the delta (SNA-L501/L502) before touching the snapshot.
+    lint::Mode lint = lint::Mode::off;
+    /// Waivers applied to the lint report (parser::parseWaivers); not owned.
+    const std::vector<parser::Waiver>* lintWaivers = nullptr;
+    /// When non-null and lint != off, receives the waiver-applied report
+    /// (also filled before a strict-mode throw).
+    lint::LintReport* lintOut = nullptr;
 };
 
 /// Analyze every SPEF net that has coupling capacitance and a driver and at

@@ -1,0 +1,80 @@
+#include "lint/diagnostic.hpp"
+
+#include <sstream>
+
+namespace sna::lint {
+
+const char* severityName(Severity s) {
+    switch (s) {
+        case Severity::info:
+            return "info";
+        case Severity::warning:
+            return "warning";
+        case Severity::error:
+            return "error";
+    }
+    return "unknown";
+}
+
+std::string Diagnostic::str() const {
+    std::string out = rule;
+    out += ' ';
+    out += severityName(severity);
+    out += " '";
+    out += object;
+    out += "': ";
+    out += message;
+    if (waived) out += " [waived]";
+    return out;
+}
+
+std::size_t LintReport::count(Severity s) const {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diagnostics) {
+        if (!d.waived && d.severity == s) ++n;
+    }
+    return n;
+}
+
+std::size_t LintReport::waivedCount() const {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diagnostics) {
+        if (d.waived) ++n;
+    }
+    return n;
+}
+
+std::string LintReport::summary() const {
+    const auto plural = [](std::size_t n, const char* word) {
+        std::string s = std::to_string(n) + ' ' + word;
+        if (n != 1) s += 's';
+        return s;
+    };
+    std::ostringstream os;
+    os << "lint: " << plural(errors(), "error") << ", "
+       << plural(warnings(), "warning") << ", " << infos() << " info";
+    if (const std::size_t w = waivedCount(); w > 0) {
+        os << " (" << w << " waived)";
+    }
+    return os.str();
+}
+
+namespace {
+
+std::string lintErrorMessage(const LintReport& report) {
+    std::string msg = "design lint failed: " + report.summary();
+    for (const Diagnostic& d : report.diagnostics) {
+        if (!d.waived && d.severity == Severity::error) {
+            msg += "; first: " + d.str();
+            break;
+        }
+    }
+    return msg;
+}
+
+}  // namespace
+
+LintError::LintError(LintReport report)
+    : Error(lintErrorMessage(report)), report_(std::move(report)) {}
+
+}  // namespace sna::lint

@@ -1,0 +1,93 @@
+// Structured lint diagnostics — the record type of the design lint
+// subsystem (lint/lint.hpp).
+//
+// Deliberately free of core/ includes: core::DesignNoiseOptions and
+// core::AnalysisSnapshot carry these records, while the checker itself
+// (lint/lint.cpp) runs over core::DesignIndex — keeping the record type
+// standalone is what breaks that include cycle.
+//
+// Rule ID scheme ("SNA-Lxxx", stable across releases — waiver files and
+// downstream tooling key on them):
+//   SNA-L1xx  connectivity (netlist vs. parasitics)
+//   SNA-L2xx  graph health (levelization side channels)
+//   SNA-L3xx  timing windows
+//   SNA-L4xx  library / characterization
+//   SNA-L5xx  incremental-delta validity
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sna::lint {
+
+enum class Severity {
+    info,     ///< advisory; never gates a run
+    warning,  ///< suspicious but analyzable; never gates a run
+    error,    ///< malformed input the analysis would silently absorb
+};
+
+/// How the analysis pipeline reacts to lint findings
+/// (core::DesignNoiseOptions::lint).
+enum class Mode {
+    off,     ///< no lint pass at all (the pre-lint behavior)
+    warn,    ///< lint before solving; diagnostics attach to the run's
+             ///< outputs, the analysis proceeds and is bit-identical to off
+    strict,  ///< lint before solving; unwaived errors throw LintError and
+             ///< nothing is solved
+};
+
+const char* severityName(Severity s);  ///< "info" / "warning" / "error"
+
+/// One finding: a stable rule ID, a severity, the offending object
+/// (net, instance, cell:pin, or window net), and a human message.
+struct Diagnostic {
+    std::string rule;  ///< "SNA-L101", ...
+    Severity severity = Severity::warning;
+    std::string object;   ///< net / instance / cell:pin the rule fired on
+    std::string message;  ///< human-readable explanation
+    bool waived = false;  ///< suppressed by a waiver (kept for reporting)
+
+    /// "SNA-L101 error net 'x7': ..." — the canonical one-line rendering.
+    std::string str() const;
+
+    bool operator==(const Diagnostic& o) const {
+        return rule == o.rule && severity == o.severity &&
+               object == o.object && message == o.message &&
+               waived == o.waived;
+    }
+};
+
+/// The outcome of one lint pass, in deterministic (rule, object) firing
+/// order. Waived diagnostics stay in the list (flagged) so reports can show
+/// what was suppressed; all counts below ignore them.
+struct LintReport {
+    std::vector<Diagnostic> diagnostics;
+
+    /// Unwaived diagnostics at exactly `s`.
+    std::size_t count(Severity s) const;
+    std::size_t errors() const { return count(Severity::error); }
+    std::size_t warnings() const { return count(Severity::warning); }
+    std::size_t infos() const { return count(Severity::info); }
+    std::size_t waivedCount() const;
+    bool hasErrors() const { return errors() > 0; }
+
+    /// "lint: 2 errors, 1 warning, 0 info (3 waived)".
+    std::string summary() const;
+};
+
+/// Thrown by strict-mode pipeline runs (core::DesignNoiseOptions::lint ==
+/// Mode::strict) when unwaived errors survive: the full report rides along
+/// so callers can render every finding, not just the first.
+class LintError : public Error {
+public:
+    explicit LintError(LintReport report);
+    const LintReport& report() const { return report_; }
+
+private:
+    LintReport report_;
+};
+
+}  // namespace sna::lint

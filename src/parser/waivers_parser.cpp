@@ -1,0 +1,58 @@
+#include "parser/waivers_parser.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sna::parser {
+
+namespace {
+
+bool looksLikeRuleId(std::string_view tok) {
+    // "SNA-L" followed by at least one digit; keeps typo'd lines (a net
+    // name in the rule column) from silently waiving nothing forever.
+    if (tok.substr(0, 5) != "SNA-L") return false;
+    if (tok.size() == 5) return false;
+    for (std::size_t i = 5; i < tok.size(); ++i) {
+        if (tok[i] < '0' || tok[i] > '9') return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+std::vector<Waiver> parseWaivers(const std::string& text) {
+    std::vector<Waiver> out;
+    std::istringstream is(text);
+    std::string rawLine;
+    int lineNo = 0;
+    while (std::getline(is, rawLine)) {
+        ++lineNo;
+        // Strip a trailing comment, then the usual whole-line forms.
+        std::string_view line = str::trim(rawLine);
+        if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+            line = str::trim(line.substr(0, hash));
+        }
+        if (line.empty() || line.substr(0, 2) == "//") continue;
+        const auto toks = str::split(line);
+        if (toks.size() > 2) {
+            throw ParseError("expected 'RULE [OBJECT]', got '" +
+                                 std::string(line) + "'",
+                             lineNo);
+        }
+        if (!looksLikeRuleId(toks.front())) {
+            throw ParseError("'" + std::string(toks.front()) +
+                                 "' is not a lint rule ID (SNA-Lxxx)",
+                             lineNo);
+        }
+        Waiver w;
+        w.rule = std::string(toks.front());
+        w.object = toks.size() == 2 ? std::string(toks[1]) : "*";
+        w.line = lineNo;
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+}  // namespace sna::parser

@@ -1,0 +1,40 @@
+// Lint waiver file loader.
+//
+// Signoff teams never run a clean design: known-benign diagnostics are
+// waived by rule ID + object so the remaining errors keep gating the run.
+// The format is deliberately minimal — one waiver per line:
+//
+//     # comment (or //)
+//     SNA-L202 clk_mux_out     # waive one rule on one object
+//     SNA-L103 *               # waive a rule on every object
+//
+// The object is the diagnostic's net/instance/cell:pin name, '*' matches
+// any object, and a line with only a rule ID waives it everywhere. Waivers
+// that match nothing are reported back by lint::applyWaivers — a stale
+// waiver hides future regressions, so it is itself a finding.
+//
+// Lives in parser/ (no core dependency) like the other text front ends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sna::parser {
+
+/// One waiver line: suppress `rule` on `object` ('*' = any object).
+struct Waiver {
+    std::string rule;    ///< e.g. "SNA-L202"
+    std::string object;  ///< exact object name, or "*"
+    int line = 0;        ///< 1-based line in the waiver file (for reporting)
+
+    bool operator==(const Waiver& o) const {
+        return rule == o.rule && object == o.object;
+    }
+};
+
+/// Parse waiver text. Throws sna::ParseError (line-numbered) on lines that
+/// are neither a comment nor "RULE [OBJECT]", or on a rule token that does
+/// not look like a lint rule ID.
+std::vector<Waiver> parseWaivers(const std::string& text);
+
+}  // namespace sna::parser

@@ -1,6 +1,8 @@
 #include "parser/windows_parser.hpp"
 
 #include <charconv>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -28,8 +30,13 @@ double parseBound(std::string_view tok, double scale, bool isEarliest,
                           : std::numeric_limits<double>::infinity();
     }
     const auto v = str::parseSpiceNumber(tok);
-    if (!v.has_value()) {
-        throw ParseError("bad window bound '" + std::string(tok) + "'", line);
+    // strtod underneath accepts "nan"/"inf" spellings; a NaN bound makes
+    // every overlap test false and an explicit infinity is '*''s job, so
+    // both are malformed input here, not numbers.
+    if (!v.has_value() || !std::isfinite(*v)) {
+        throw ParseError("bad window bound '" + std::string(tok) +
+                             "' (must be a finite number or '*')",
+                         line);
     }
     return *v * scale;
 }
@@ -74,9 +81,11 @@ core::TimingWindows parseTimingWindows(const std::string& text) {
         core::TimingWindow w;
         w.earliest = parseBound(toks[1], scale, true, lineNo);
         w.latest = parseBound(toks[2], scale, false, lineNo);
-        if (w.empty()) {
+        if (w.earliest > w.latest) {
             throw ParseError("window of net '" + net +
-                                 "' has earliest > latest",
+                                 "' is inverted: earliest " +
+                                 std::string(toks[1]) + " > latest " +
+                                 std::string(toks[2]),
                              lineNo);
         }
         if (out.find(net) != nullptr) {

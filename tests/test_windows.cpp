@@ -80,7 +80,29 @@ TEST(WindowsParser, MalformedInputsThrowWithLineNumbers) {
         FAIL() << "expected ParseError";
     } catch (const ParseError& e) {
         EXPECT_EQ(e.line(), 2);
+        EXPECT_NE(std::string(e.what()).find("inverted"), std::string::npos);
     }
+}
+
+TEST(WindowsParser, NonFiniteBoundsRejected) {
+    // strtod accepts "nan"/"inf" spellings; a NaN bound silently defeats
+    // every overlap test and an explicit infinity is '*''s job — both are
+    // malformed here, with the offending token named.
+    EXPECT_THROW(parser::parseTimingWindows("n1 nan 100\n"), ParseError);
+    EXPECT_THROW(parser::parseTimingWindows("n1 0 NaN\n"), ParseError);
+    EXPECT_THROW(parser::parseTimingWindows("n1 -inf 100\n"), ParseError);
+    try {
+        parser::parseTimingWindows("n1 0 inf\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 1);
+        EXPECT_NE(std::string(e.what()).find("'inf'"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("finite"), std::string::npos);
+    }
+    // The wildcard stays the supported unbounded spelling.
+    const auto w = parser::parseTimingWindows("n1 * 100\nn2 50 *\n");
+    EXPECT_TRUE(std::isinf(w.find("n1")->earliest));
+    EXPECT_TRUE(std::isinf(w.find("n2")->latest));
 }
 
 TEST(WindowsOps, IntervalAlgebra) {
