@@ -42,15 +42,18 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/design_index.hpp"
+#include "core/frontend.hpp"
 #include "core/incremental.hpp"
 #include "core/sna.hpp"
 #include "lint/lint.hpp"
 #include "interconnect/parallel_bus.hpp"
+#include "parser/verilog_parser.hpp"
 #include "parser/windows_parser.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -141,6 +144,52 @@ void buildChainedDesign(core::Design& design, int nets, int chains) {
     }
 }
 
+// The design serialized back out as a structural Verilog netlist (the
+// format the industry front end reads): nets only loaded become inputs,
+// nets only driven become outputs, the rest wires.
+std::string designToVerilog(const core::Design& design,
+                            const std::string& name) {
+    std::set<std::string> driven, loaded;
+    for (const auto& inst : design.instances()) {
+        const cell::Cell& c = design.library().cell(inst.cellName);
+        for (const auto& pin : c.pins()) {
+            const std::string& net = inst.pinToNet.at(pin.name);
+            (pin.dir == cell::PinDir::Output ? driven : loaded).insert(net);
+        }
+    }
+    std::vector<std::string> inputs, outputs, wires;
+    for (const auto& net : loaded) {
+        if (driven.count(net) == 0) inputs.push_back(net);
+    }
+    for (const auto& net : driven) {
+        (loaded.count(net) != 0 ? wires : outputs).push_back(net);
+    }
+    std::ostringstream os;
+    os << "module " << name << " (";
+    bool first = true;
+    for (const auto* group : {&inputs, &outputs}) {
+        for (const auto& net : *group) {
+            os << (first ? "" : ", ") << net;
+            first = false;
+        }
+    }
+    os << ");\n";
+    for (const auto& net : inputs) os << "  input " << net << ";\n";
+    for (const auto& net : outputs) os << "  output " << net << ";\n";
+    for (const auto& net : wires) os << "  wire " << net << ";\n";
+    for (const auto& inst : design.instances()) {
+        os << "  " << inst.cellName << " " << inst.name << " (";
+        bool firstPin = true;
+        for (const auto& [pin, net] : inst.pinToNet) {
+            os << (firstPin ? "" : ", ") << "." << pin << "(" << net << ")";
+            firstPin = false;
+        }
+        os << ");\n";
+    }
+    os << "endmodule\n";
+    return os.str();
+}
+
 double seconds(std::chrono::steady_clock::time_point t0) {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          t0)
@@ -192,6 +241,12 @@ struct Row {
     std::size_t lintErrors = 0;
     std::size_t lintWarnings = 0;
     std::size_t lintInfos = 0;
+    // Industry front end: the chained design serialized as structural
+    // Verilog, re-parsed, and rebuilt — parse wall time and an
+    // instance-exact round-trip check (asserted, like the margin diffs).
+    double frontendParseSec = 0.0;
+    bool frontendRoundtripOk = false;
+    std::size_t frontendInstances = 0;
     // Task-graph scheduler counters from the max-thread propagate run.
     std::size_t schedTasks = 0;
     std::size_t schedSteals = 0;
@@ -367,6 +422,34 @@ int main(int argc, char** argv) {
         row.lintErrors = lintRep.errors();
         row.lintWarnings = lintRep.warnings();
         row.lintInfos = lintRep.infos();
+
+        // ---- industry front-end round trip -------------------------------
+        // Serialize the chained design as a gate-level Verilog netlist,
+        // re-read it through the front-end parser, and rebuild the Design:
+        // the rebuilt instances must match the original exactly.
+        {
+            const std::string vtext = designToVerilog(chained, "bench_chain");
+            t0 = std::chrono::steady_clock::now();
+            const auto module = parser::parseVerilog(vtext);
+            row.frontendParseSec = seconds(t0);
+            const auto rebuilt = core::buildDesign(module, lib);
+            row.frontendInstances = rebuilt.instances().size();
+            bool ok =
+                rebuilt.instances().size() == chained.instances().size();
+            for (std::size_t k = 0; ok && k < rebuilt.instances().size();
+                 ++k) {
+                const auto& a = rebuilt.instances()[k];
+                const auto& b = chained.instances()[k];
+                ok = a.name == b.name && a.cellName == b.cellName &&
+                     a.pinToNet == b.pinToNet;
+            }
+            row.frontendRoundtripOk = ok;
+            if (!ok) {
+                std::fprintf(stderr,
+                             "front-end Verilog round trip diverged\n");
+                return 1;
+            }
+        }
 
         // Propagated wavefront across the same thread sweep (task-graph
         // scheduling); the max-thread run also reports its scheduler
@@ -612,6 +695,18 @@ int main(int argc, char** argv) {
         "task-graph scheduling)\n\n%s\n",
         chains, ptable.str().c_str());
 
+    util::Table ftable({"Nets", "Instances", "Verilog parse (s)",
+                        "Round trip"});
+    for (const auto& r : rows) {
+        ftable.addRow({std::to_string(r.nets),
+                       std::to_string(r.frontendInstances),
+                       util::Table::num(r.frontendParseSec, 4),
+                       r.frontendRoundtripOk ? "exact" : "DIVERGED"});
+    }
+    std::printf(
+        "Industry front end (Verilog serialize / parse / rebuild)\n\n%s\n",
+        ftable.str().c_str());
+
     util::Table stable({"Nets", "Tasks", "Steals", "Max ready depth",
                         "Busy fraction / worker"});
     for (const auto& r : rows) {
@@ -717,7 +812,9 @@ int main(int argc, char** argv) {
             "\"cache_disk_hits\": %zu, "
             "\"eco_nets\": %zu, \"eco_dirty_tasks\": %zu, "
             "\"eco_total_tasks\": %zu, \"eco_incremental_sec\": %.4f, "
-            "\"eco_full_sec\": %.4f, \"incremental_margin_diff\": %.3e}",
+            "\"eco_full_sec\": %.4f, \"incremental_margin_diff\": %.3e, "
+            "\"frontend_parse_sec\": %.4f, \"frontend_roundtrip_ok\": %s, "
+            "\"frontend_instances\": %zu}",
             i == 0 ? "" : ", ", r.nets, r.reports, refStr.c_str(), r.opt1Sec,
             r.opt4Sec, speedupStr.c_str(), r.marginDiff, r.loadCurveRuns,
             r.nrcRuns, sweepJson.str().c_str(), r.levels, r.lintSec,
@@ -730,7 +827,9 @@ int main(int argc, char** argv) {
             r.worstWindowedMargin, r.maxMarginRecovery, r.cacheEntries,
             r.cacheColdSec, r.cacheWarmSec, r.cacheWarmCharRuns,
             r.cacheDiskHits, r.ecoNets, r.ecoDirtyTasks, r.ecoTotalTasks,
-            r.ecoIncrementalSec, r.ecoFullSec, r.incrementalMarginDiff);
+            r.ecoIncrementalSec, r.ecoFullSec, r.incrementalMarginDiff,
+            r.frontendParseSec, r.frontendRoundtripOk ? "true" : "false",
+            r.frontendInstances);
     }
     std::printf("], \"chains\": %d}\n", chains);
     return 0;

@@ -1,0 +1,19 @@
+# Switching constraints for the signoff demo netlist: the victim chain
+# launches right after the (virtual) clock edge, stage 2's aggressors can
+# only switch in a much later slot. Seeds the same windows the hand-written
+# windows file in the noise_signoff example supplies.
+set_units -time ns
+create_clock -period 2.5 -name clk
+
+set_input_delay -clock clk -min 0    [get_ports {in}]
+set_input_delay -clock clk -max 0.08 [get_ports {in}]
+
+# Stage-1 aggressors collide with the victim's sensitivity interval.
+set_input_delay -clock clk -min 0    [get_ports {vic1_g0_in vic1_g1_in vic1_g2_in}]
+set_input_delay -clock clk -max 0.08 [get_ports {vic1_g0_in vic1_g1_in vic1_g2_in}]
+
+# Stage-2 aggressors switch long after vic2 has settled.
+set_input_delay -clock clk -min 1.6 \
+    [get_ports {vic2_g0_in vic2_g1_in vic2_g2_in}]
+set_input_delay -clock clk -max 1.8 \
+    [get_ports {vic2_g0_in vic2_g1_in vic2_g2_in}]

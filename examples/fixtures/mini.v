@@ -1,0 +1,39 @@
+// Gate-level netlist of the signoff demo: a two-stage inverter chain
+// (in -> vic1 -> vic2 -> out) with three dedicated aggressor routes per
+// stage, each driven by a strong INV_X4 and terminated in an INV_X1
+// receiver. Matches examples/fixtures/mini.spef net for net.
+module signoff_demo (in,
+                     vic1_g0_in, vic1_g1_in, vic1_g2_in,
+                     vic2_g0_in, vic2_g1_in, vic2_g2_in,
+                     out,
+                     vic1_g0_o, vic1_g1_o, vic1_g2_o,
+                     vic2_g0_o, vic2_g1_o, vic2_g2_o);
+  input in;
+  input vic1_g0_in, vic1_g1_in, vic1_g2_in;
+  input vic2_g0_in, vic2_g1_in, vic2_g2_in;
+  output out;
+  output vic1_g0_o, vic1_g1_o, vic1_g2_o;
+  output vic2_g0_o, vic2_g1_o, vic2_g2_o;
+
+  wire vic1, vic2;
+  wire vic1_g0, vic1_g1, vic1_g2;
+  wire vic2_g0, vic2_g1, vic2_g2;
+
+  INV_X1 u_s1 (.A(in),   .Y(vic1));
+  INV_X1 u_s2 (.A(vic1), .Y(vic2));
+  INV_X2 u_s3 (.A(vic2), .Y(out));
+
+  INV_X4 vic1_g0_d (.A(vic1_g0_in), .Y(vic1_g0));
+  INV_X1 vic1_g0_r (.A(vic1_g0),    .Y(vic1_g0_o));
+  INV_X4 vic1_g1_d (.A(vic1_g1_in), .Y(vic1_g1));
+  INV_X1 vic1_g1_r (.A(vic1_g1),    .Y(vic1_g1_o));
+  INV_X4 vic1_g2_d (.A(vic1_g2_in), .Y(vic1_g2));
+  INV_X1 vic1_g2_r (.A(vic1_g2),    .Y(vic1_g2_o));
+
+  INV_X4 vic2_g0_d (.A(vic2_g0_in), .Y(vic2_g0));
+  INV_X1 vic2_g0_r (.A(vic2_g0),    .Y(vic2_g0_o));
+  INV_X4 vic2_g1_d (.A(vic2_g1_in), .Y(vic2_g1));
+  INV_X1 vic2_g1_r (.A(vic2_g1),    .Y(vic2_g1_o));
+  INV_X4 vic2_g2_d (.A(vic2_g2_in), .Y(vic2_g2));
+  INV_X1 vic2_g2_r (.A(vic2_g2),    .Y(vic2_g2_o));
+endmodule

@@ -22,6 +22,16 @@
 // Build & run:
 //   ./build/noise_signoff [--cache signoff.snacache] [--lint[=strict]]
 //                         [--waivers FILE]
+//   ./build/noise_signoff --lib FILE --verilog FILE [--sdc FILE]
+//                         [--spef FILE] [other flags]
+// Without --lib/--verilog the built-in demo design runs. With them, the
+// industry front end takes over: the Liberty library is bound to the
+// bundled cells (NLDM delay/slew tables seed the characterization cache
+// for window propagation), the structural Verilog netlist becomes the
+// design, SDC input delays seed the switching windows, and --spef supplies
+// the extracted parasitics (omitted: a demo-grade placeholder extractor
+// couples consecutive wire declarations so the flow still runs end to
+// end). The front-end lint rules (SNA-L6xx) always run in this mode.
 // --cache warm-starts the characterization cache from the given file when
 // it exists and saves it back after the run: the second invocation serves
 // every load curve, Thevenin model, NRC, and propagation table from disk
@@ -31,13 +41,14 @@
 // unwaived errors. --waivers FILE suppresses known-benign findings by
 // "RULE [OBJECT]" lines; waivers that match nothing are reported. Exit
 // codes: 0 clean (waived findings and warnings included), 1 usage or I/O
-// error, 2 unwaived lint errors.
+// error, 2 unwaived lint (or front-end binding) errors.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "core/frontend.hpp"
 #include "core/sna.hpp"
 #include "interconnect/parallel_bus.hpp"
 #include "lint/lint.hpp"
@@ -80,12 +91,66 @@ std::string chainSpef() {
     return os.str();
 }
 
+bool readFile(const std::string& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+// Placeholder extractor for front-end runs without a SPEF: every wire net
+// with a driver and loads becomes an RC pi (the demo's geometry), and
+// consecutive wire declarations couple at their middle nodes — enough
+// deterministic coupling to exercise the full flow, not a substitute for
+// extracted parasitics.
+std::string synthesizeSpef(const sna::parser::VerilogModule& module,
+                           const sna::core::Design& design) {
+    using sna::core::Instance;
+    std::ostringstream os;
+    os << "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"" << module.name << "\"\n";
+    os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n\n";
+    std::string prev;
+    for (const auto& net : module.wires) {
+        const Instance* driver = design.driverOf(net);
+        const auto loads = design.loadsOf(net);
+        if (driver == nullptr || loads.empty()) continue;
+        const std::string drvPin = driver->name + ":y";
+        const double coupling = prev.empty() ? 0.0 : 20.0;
+        os << "*D_NET " << net << " "
+           << (5.0 + 1.5 * loads.size() + coupling) << "\n*CONN\n";
+        os << "*I " << drvPin << " O\n";
+        for (const auto& [inst, pin] : loads) {
+            os << "*I " << inst->name << ":" << pin << " I\n";
+        }
+        os << "*CAP\n1 " << drvPin << " 2.0\n2 " << net << ":1 3.0\n";
+        int idx = 2;
+        for (const auto& [inst, pin] : loads) {
+            os << ++idx << " " << inst->name << ":" << pin << " 1.5\n";
+        }
+        if (!prev.empty()) {
+            os << ++idx << " " << net << ":1 " << prev << ":1 20.0\n";
+        }
+        os << "*RES\n1 " << drvPin << " " << net << ":1 60\n";
+        idx = 1;
+        for (const auto& [inst, pin] : loads) {
+            os << ++idx << " " << net << ":1 " << inst->name << ":" << pin
+               << " 60\n";
+        }
+        os << "*END\n\n";
+        prev = net;
+    }
+    return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace sna;
     std::string cachePath;
     std::string waiversPath;
+    std::string libPath, verilogPath, sdcPath, spefPath;
     lint::Mode lintMode = lint::Mode::off;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
@@ -96,13 +161,28 @@ int main(int argc, char** argv) {
             lintMode = lint::Mode::strict;
         } else if (std::strcmp(argv[i], "--waivers") == 0 && i + 1 < argc) {
             waiversPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
+            libPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--verilog") == 0 && i + 1 < argc) {
+            verilogPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--sdc") == 0 && i + 1 < argc) {
+            sdcPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--spef") == 0 && i + 1 < argc) {
+            spefPath = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--cache FILE] [--lint[=strict]] "
-                         "[--waivers FILE]\n",
+                         "[--waivers FILE] [--lib FILE --verilog FILE "
+                         "[--sdc FILE] [--spef FILE]]\n",
                          argv[0]);
             return 1;
         }
+    }
+    const bool frontEnd = !libPath.empty() || !verilogPath.empty();
+    if (frontEnd && (libPath.empty() || verilogPath.empty())) {
+        std::fprintf(stderr,
+                     "front-end mode needs both --lib and --verilog\n");
+        return 1;
     }
     const cell::CellLibrary lib(tech::tech130());
 
@@ -124,39 +204,6 @@ int main(int argc, char** argv) {
         }
     }
 
-    const auto spef = parser::parseSpef(chainSpef());
-    std::printf("parsed SPEF '%s': %zu nets\n", spef.design().c_str(),
-                spef.nets().size());
-
-    // ---- the design -------------------------------------------------------
-    core::Design design(lib);
-    auto inst = [&](const std::string& name, const std::string& cellName,
-                    std::map<std::string, std::string> pins) {
-        core::Instance i;
-        i.name = name;
-        i.cellName = cellName;
-        i.pinToNet = std::move(pins);
-        design.addInstance(std::move(i));
-    };
-    inst("u_s1", "INV_X1", {{"a", "in"}, {"y", "vic1"}});
-    inst("u_s2", "INV_X1", {{"a", "vic1"}, {"y", "vic2"}});
-    inst("u_s3", "INV_X2", {{"a", "vic2"}, {"y", "out"}});
-    for (const std::string& v : {std::string("vic1"), std::string("vic2")}) {
-        for (int a = 0; a < 3; ++a) {
-            const std::string g = v + "_g" + std::to_string(a);
-            inst(g + "_d", "INV_X4", {{"a", g + "_in"}, {"y", g}});
-            // The SPEF routes each aggressor into a receiver pin (g_r:a);
-            // instantiate it so the netlist matches the parasitics — a
-            // driven net with no design receiver is exactly what lint rule
-            // SNA-L102 flags. The aggressor nets thereby become victim
-            // clusters of their own (they couple back into the stage nets).
-            inst(g + "_r", "INV_X1", {{"a", g}, {"y", g + "_o"}});
-        }
-    }
-
-    // ---- run (worst alignment, no temporal information) --------------------
-    core::DesignNoiseOptions opt;
-    opt.propagate = true;
     charlib::CharCache cache;
     if (!cachePath.empty()) {
         const auto loaded = cache.load(cachePath);
@@ -168,6 +215,145 @@ int main(int argc, char** argv) {
                         cachePath.c_str(), loaded.error.c_str());
         }
     }
+
+    core::Design design(lib);
+    parser::SpefFile spef;
+    core::TimingWindows windows;
+    bool haveWindows = false;
+
+    if (frontEnd) {
+        // ---- industry front end: .lib + .v (+ .sdc, .spef) ----------------
+        std::string libText, verilogText;
+        if (!readFile(libPath, libText)) {
+            std::fprintf(stderr, "cannot read '%s'\n", libPath.c_str());
+            return 1;
+        }
+        if (!readFile(verilogPath, verilogText)) {
+            std::fprintf(stderr, "cannot read '%s'\n", verilogPath.c_str());
+            return 1;
+        }
+        parser::LibertyLibrary liberty;
+        parser::VerilogModule module;
+        parser::SdcConstraints sdc;
+        bool haveSdc = false;
+        try {
+            liberty = parser::parseLiberty(libText);
+            module = parser::parseVerilog(verilogText);
+            if (!sdcPath.empty()) {
+                std::string sdcText;
+                if (!readFile(sdcPath, sdcText)) {
+                    std::fprintf(stderr, "cannot read '%s'\n",
+                                 sdcPath.c_str());
+                    return 1;
+                }
+                sdc = parser::parseSdc(sdcText);
+                haveSdc = true;
+            }
+        } catch (const Error& e) {
+            std::fprintf(stderr, "front end: %s\n", e.what());
+            return 1;
+        }
+        std::printf("parsed library '%s' (%zu cells), module '%s' "
+                    "(%zu instances)%s\n",
+                    liberty.name.c_str(), liberty.cells.size(),
+                    module.name.c_str(), module.instances.size(),
+                    haveSdc ? ", SDC constraints" : "");
+
+        const charlib::NldmSource nldm(liberty, lib);
+        lint::LintReport feReport;
+        core::lintFrontEnd(nldm, module, lib, haveSdc ? &sdc : nullptr,
+                           feReport);
+        lint::applyWaivers(feReport, waivers);
+        for (const auto& d : feReport.diagnostics) {
+            std::printf("lint: %s\n", d.str().c_str());
+        }
+        std::printf("%s\n", feReport.summary().c_str());
+        if (feReport.hasErrors()) {
+            std::fprintf(stderr,
+                         "front-end binding errors — refusing to analyze\n");
+            return 2;
+        }
+        try {
+            design = core::buildDesign(module, lib);
+        } catch (const Error& e) {
+            std::fprintf(stderr, "front end: %s\n", e.what());
+            return 2;
+        }
+
+        std::string spefText;
+        if (!spefPath.empty()) {
+            if (!readFile(spefPath, spefText)) {
+                std::fprintf(stderr, "cannot read '%s'\n", spefPath.c_str());
+                return 1;
+            }
+        } else {
+            spefText = synthesizeSpef(module, design);
+        }
+        try {
+            spef = parser::parseSpef(spefText);
+        } catch (const Error& e) {
+            std::fprintf(stderr, "%s: %s\n",
+                         spefPath.empty() ? "synthesized SPEF"
+                                          : spefPath.c_str(),
+                         e.what());
+            return 1;
+        }
+        if (haveSdc) {
+            windows = sdc.toInputWindows();
+            haveWindows = true;
+        }
+        const std::size_t seeded = core::seedNldmCharacterization(nldm, cache);
+        std::printf("seeded %zu NLDM thevenin models into the "
+                    "characterization cache\n",
+                    seeded);
+    } else {
+        spef = parser::parseSpef(chainSpef());
+
+        // ---- the built-in demo design -------------------------------------
+        auto inst = [&](const std::string& name, const std::string& cellName,
+                        std::map<std::string, std::string> pins) {
+            core::Instance i;
+            i.name = name;
+            i.cellName = cellName;
+            i.pinToNet = std::move(pins);
+            design.addInstance(std::move(i));
+        };
+        inst("u_s1", "INV_X1", {{"a", "in"}, {"y", "vic1"}});
+        inst("u_s2", "INV_X1", {{"a", "vic1"}, {"y", "vic2"}});
+        inst("u_s3", "INV_X2", {{"a", "vic2"}, {"y", "out"}});
+        for (const std::string& v :
+             {std::string("vic1"), std::string("vic2")}) {
+            for (int a = 0; a < 3; ++a) {
+                const std::string g = v + "_g" + std::to_string(a);
+                inst(g + "_d", "INV_X4", {{"a", g + "_in"}, {"y", g}});
+                // The SPEF routes each aggressor into a receiver pin
+                // (g_r:a); instantiate it so the netlist matches the
+                // parasitics — a driven net with no design receiver is
+                // exactly what lint rule SNA-L102 flags. The aggressor nets
+                // thereby become victim clusters of their own (they couple
+                // back into the stage nets).
+                inst(g + "_r", "INV_X1", {{"a", g}, {"y", g + "_o"}});
+            }
+        }
+
+        // What an STA tool would export: the chain launches early (windows
+        // propagate down vic1 -> vic2 from the primary input), stage 1's
+        // aggressors collide with vic1, but stage 2's aggressors can only
+        // switch in a much later slot — outside vic2's sensitivity interval.
+        windows = parser::parseTimingWindows(
+            "*T_UNIT 1 PS\n"
+            "in       0    80\n"
+            "vic2_g0  1600 1800\n"
+            "vic2_g1  1600 1800\n"
+            "vic2_g2  1600 1800\n");
+        haveWindows = true;
+    }
+    std::printf("parsed SPEF '%s': %zu nets\n", spef.design().c_str(),
+                spef.nets().size());
+
+    // ---- run (worst alignment, no temporal information) --------------------
+    core::DesignNoiseOptions opt;
+    opt.propagate = true;
     opt.cache = &cache;
     opt.lint = lintMode;
     opt.lintWaivers = waivers.empty() ? nullptr : &waivers;
@@ -223,49 +409,45 @@ int main(int argc, char** argv) {
                 reports.size(), table.str().c_str());
 
     // ---- run again with switching windows ----------------------------------
-    // What an STA tool would export: the chain launches early (windows
-    // propagate down vic1 -> vic2 from the primary input), stage 1's
-    // aggressors collide with vic1, but stage 2's aggressors can only
-    // switch in a much later slot — outside vic2's sensitivity interval.
-    const auto windows = parser::parseTimingWindows(
-        "*T_UNIT 1 PS\n"
-        "in       0    80\n"
-        "vic2_g0  1600 1800\n"
-        "vic2_g1  1600 1800\n"
-        "vic2_g2  1600 1800\n");
-    core::DesignNoiseOptions wopt = opt;
-    wopt.windows = &windows;
-    // The design was already linted (and gated) above; re-linting the
-    // windowed pass would just repeat every finding.
-    wopt.lint = lint::Mode::off;
-    wopt.lintOut = nullptr;
-    const auto windowed = core::analyzeDesign(design, spef, wopt);
+    // Demo mode hard-codes the windows an STA tool would export; front-end
+    // mode seeds them from the SDC input delays (and skips this pass when no
+    // --sdc was given — there is no temporal information to apply).
+    if (haveWindows) {
+        core::DesignNoiseOptions wopt = opt;
+        wopt.windows = &windows;
+        // The design was already linted (and gated) above; re-linting the
+        // windowed pass would just repeat every finding.
+        wopt.lint = lint::Mode::off;
+        wopt.lintOut = nullptr;
+        const auto windowed = core::analyzeDesign(design, spef, wopt);
 
-    util::Table wtable({"Victim net", "Window (ps)", "Unconstr margin (V)",
-                        "Windowed margin (V)", "Excluded aggressors",
-                        "Dropped glitches", "Verdict"});
-    for (const auto& r : windowed) {
-        const auto& w = r.windows;
-        std::string excl;
-        for (const auto& a : w.excludedAggressors) {
-            excl += (excl.empty() ? "" : " ") + a;
+        util::Table wtable({"Victim net", "Window (ps)",
+                            "Unconstr margin (V)", "Windowed margin (V)",
+                            "Excluded aggressors", "Dropped glitches",
+                            "Verdict"});
+        for (const auto& r : windowed) {
+            const auto& w = r.windows;
+            std::string excl;
+            for (const auto& a : w.excludedAggressors) {
+                excl += (excl.empty() ? "" : " ") + a;
+            }
+            std::string dropped;
+            for (const auto& d : w.droppedIncoming) {
+                dropped += (dropped.empty() ? "" : " ") + d;
+            }
+            wtable.addRow(
+                {r.net,
+                 "[" + util::Table::num(w.window.earliest * 1e12, 0) + ", " +
+                     util::Table::num(w.window.latest * 1e12, 0) + "]",
+                 util::Table::num(w.unconstrainedMargin, 3),
+                 util::Table::num(w.windowedMargin, 3),
+                 excl.empty() ? "-" : excl, dropped.empty() ? "-" : dropped,
+                 r.cluster.fails ? "FAIL" : "pass"});
         }
-        std::string dropped;
-        for (const auto& d : w.droppedIncoming) {
-            dropped += (dropped.empty() ? "" : " ") + d;
-        }
-        wtable.addRow(
-            {r.net,
-             "[" + util::Table::num(w.window.earliest * 1e12, 0) + ", " +
-                 util::Table::num(w.window.latest * 1e12, 0) + "]",
-             util::Table::num(w.unconstrainedMargin, 3),
-             util::Table::num(w.windowedMargin, 3),
-             excl.empty() ? "-" : excl, dropped.empty() ? "-" : dropped,
-             r.cluster.fails ? "FAIL" : "pass"});
+        std::printf("With switching windows (FRAME-style temporal "
+                    "correlation)\n\n%s\n",
+                    wtable.str().c_str());
     }
-    std::printf("With switching windows (FRAME-style temporal "
-                "correlation)\n\n%s\n",
-                wtable.str().c_str());
 
     const auto s = cache.stats();
     std::printf("characterizations: %zu load curves, %zu thevenins, "

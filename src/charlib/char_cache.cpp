@@ -1,5 +1,6 @@
 #include "charlib/char_cache.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -8,6 +9,8 @@
 #include <sstream>
 #include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "charlib/model_io.hpp"
 #include "util/error.hpp"
@@ -236,6 +239,14 @@ std::shared_ptr<const PropagationTable> CharCache::propagation(
                         [&] { return characterizePropagation(spec); });
 }
 
+bool CharCache::seedThevenin(const TheveninSpec& spec,
+                             const TheveninModel& model) {
+    // Seeded entries are marked fromDisk: like a warm start, their hits are
+    // characterization work an external source (NLDM tables) replaced.
+    return insertFromDisk(thevenins_, keyOf(spec),
+                          std::make_shared<const TheveninModel>(model));
+}
+
 CharCache::Stats CharCache::stats() const {
     const std::lock_guard<std::mutex> lock(mu_);
     Stats s;
@@ -311,7 +322,14 @@ CharCache::PersistResult CharCache::save(const std::string& path) const {
 
     // Write a temporary sibling and rename: a concurrent load() from
     // another process sees either the old complete file or the new one.
-    const std::string tmp = path + ".tmp";
+    // The tmp name is unique per writer (pid + process-wide counter): two
+    // processes (or threads) saving to the same path each build their own
+    // complete snapshot and the renames serialize, so last-writer-wins is
+    // the only race — a fixed ".tmp" sibling would let one writer rename
+    // another's half-written file into place.
+    static std::atomic<unsigned long long> saveCounter{0};
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                            "." + std::to_string(++saveCounter);
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out) {

@@ -56,6 +56,14 @@ public:
     std::shared_ptr<const PropagationTable> propagation(
         const PropagationSpec& spec);
 
+    /// Pre-populate the Thevenin table with an externally derived model
+    /// (e.g. NLDM .lib delay/slew tables) under the exact key thevenin()
+    /// would use for `spec`, so later queries hit instead of running a
+    /// SPICE sweep. Returns false — and leaves the cache untouched — when
+    /// the key is already present or the table is full. Seeded hits are
+    /// counted as disk hits in stats().
+    bool seedThevenin(const TheveninSpec& spec, const TheveninModel& model);
+
     struct Stats {
         std::size_t loadCurveRuns = 0;  ///< actual DC-sweep characterizations
         std::size_t loadCurveHits = 0;  ///< hits on entries computed this run
@@ -121,8 +129,13 @@ public:
 
     /// Serialize every ready entry (all four tables) to `path` in the
     /// versioned "snacache v1" text format. In-flight entries are skipped.
-    /// Writes to a temporary sibling and renames, so a concurrent load()
-    /// from another process never observes a half-written file.
+    /// Writes to a uniquely named temporary sibling (pid + counter) and
+    /// renames, so a concurrent load() from another process never observes
+    /// a half-written file and concurrent save()s to the same path never
+    /// share a tmp file: each rename publishes one complete snapshot, and
+    /// last-writer-wins is the only race. The format itself is
+    /// locale-independent (hex floats via std::to_chars), so a cache
+    /// written under any LC_NUMERIC loads anywhere.
     PersistResult save(const std::string& path) const;
 
     /// Warm-start from a file written by save(): inserts every readable

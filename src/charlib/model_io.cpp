@@ -1,6 +1,6 @@
 #include "charlib/model_io.hpp"
 
-#include <cstdio>
+#include <locale>
 #include <sstream>
 #include <vector>
 
@@ -11,21 +11,20 @@ namespace sna::charlib {
 
 namespace {
 
-// Hex floats round-trip exactly through text.
-std::string hexDouble(double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%a", v);
-    return buf;
-}
+// Hex floats round-trip exactly through text. str::formatDoubleHex /
+// str::parseDoubleToken are locale-independent, unlike the printf("%a") /
+// strtod pair used previously: those honor LC_NUMERIC, so a cache written
+// under a comma-decimal locale was unreadable (or silently recomputed)
+// under "C". parseDoubleToken still accepts the old "%a" spellings.
+std::string hexDouble(double v) { return str::formatDoubleHex(v); }
 
 double parseDouble(std::string_view token, int line) {
-    const std::string buf(token);
-    char* end = nullptr;
-    const double v = std::strtod(buf.c_str(), &end);
-    if (end == buf.c_str() || *end != '\0') {
-        throw ParseError("malformed number '" + buf + "'", line);
+    const auto v = str::parseDoubleToken(token);
+    if (!v) {
+        throw ParseError("malformed number '" + std::string(token) + "'",
+                         line);
     }
-    return v;
+    return *v;
 }
 
 void emitVector(std::ostringstream& os, const char* key,
@@ -261,6 +260,9 @@ la::Grid1d loadNrc(const std::string& text) {
 std::string toCsv(const wave::Waveform& w) {
     SNA_REQUIRE(!w.empty(), "cannot export an empty waveform");
     std::ostringstream os;
+    // The C++ global locale could also have a comma radix; pin the stream
+    // to the classic locale so the CSV is portable.
+    os.imbue(std::locale::classic());
     os << "time,value\n";
     os.precision(17);
     for (const auto& s : w.samples()) os << s.t << ',' << s.v << '\n';

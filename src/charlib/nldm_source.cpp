@@ -1,0 +1,141 @@
+#include "charlib/nldm_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace sna::charlib {
+
+namespace {
+
+/// The CellLibrary cell whose name matches `libCellName` ignoring case, or
+/// empty when none does (.lib names are lower-cased at parse, the bundled
+/// library spells them INV_X1-style).
+std::string canonicalName(const cell::CellLibrary& cells,
+                          const std::string& libCellName) {
+    for (const auto& name : cells.names()) {
+        if (str::iequals(name, libCellName)) return name;
+    }
+    return {};
+}
+
+}  // namespace
+
+NldmSource::NldmSource(const parser::LibertyLibrary& lib,
+                       const cell::CellLibrary& cells)
+    : lib_(&lib), cells_(&cells) {
+    // cells map iteration is name-sorted, so issues_ and bound_ come out in
+    // deterministic order.
+    for (const auto& [libName, libCell] : lib.cells) {
+        const std::string canonical = canonicalName(cells, libName);
+        if (canonical.empty()) {
+            issues_.push_back({Issue::Kind::unboundCell, libName, "",
+                               "no library cell matches"});
+            continue;
+        }
+        const cell::Cell& c = cells.cell(canonical);
+        bool ok = true;
+        // Every library pin must exist in the .lib cell with the same role.
+        for (const auto& pin : c.pins()) {
+            const auto it = libCell.pins.find(str::toLower(pin.name));
+            if (it == libCell.pins.end()) {
+                issues_.push_back({Issue::Kind::pinMismatch, libName,
+                                   str::toLower(pin.name),
+                                   "pin missing from the .lib cell"});
+                ok = false;
+                continue;
+            }
+            const bool libIsOutput =
+                it->second.dir == parser::LibertyPinDir::output;
+            if (libIsOutput != (pin.dir == cell::PinDir::Output)) {
+                issues_.push_back({Issue::Kind::pinMismatch, libName,
+                                   it->second.name,
+                                   "pin direction disagrees"});
+                ok = false;
+            }
+        }
+        if (!ok) continue;
+        // Every input pin needs a complete four-table arc to the output.
+        for (const auto& input : c.inputNames()) {
+            const parser::LibertyTimingArc* arc = libCell.arcFrom(input);
+            if (arc == nullptr) {
+                issues_.push_back({Issue::Kind::missingTable, libName, input,
+                                   "no timing arc from this input"});
+                ok = false;
+            } else if (!arc->complete()) {
+                issues_.push_back(
+                    {Issue::Kind::missingTable, libName, input,
+                     "arc lacks one of cell_rise/cell_fall/"
+                     "rise_transition/fall_transition"});
+                ok = false;
+            }
+        }
+        if (ok) bound_.push_back(canonical);
+    }
+    std::sort(bound_.begin(), bound_.end());
+}
+
+std::optional<TheveninModel> NldmSource::theveninFor(
+    const std::string& cellName, const std::string& pin, bool outputRising,
+    double loadCap, double inputSlew) const {
+    const std::string low = str::toLower(cellName);
+    const std::string canonical = canonicalName(*cells_, low);
+    if (canonical.empty() ||
+        std::find(bound_.begin(), bound_.end(), canonical) == bound_.end()) {
+        return std::nullopt;
+    }
+    const parser::LibertyCell* libCell = lib_->findCell(low);
+    if (libCell == nullptr) return std::nullopt;
+    const parser::LibertyTimingArc* arc = libCell->arcFrom(pin);
+    if (arc == nullptr || !arc->complete()) return std::nullopt;
+
+    const la::Grid2d& delayTable =
+        outputRising ? arc->cellRise : arc->cellFall;
+    const la::Grid2d& slewTable =
+        outputRising ? arc->riseTransition : arc->fallTransition;
+    const double nldmDelay = delayTable(inputSlew, loadCap);
+    const double transition = slewTable(inputSlew, loadCap);
+    if (!(transition > 0.0) || loadCap <= 0.0) return std::nullopt;
+
+    const double vdd = cells_->technology().vdd;
+    TheveninModel m;
+    m.vStart = outputRising ? 0.0 : vdd;
+    m.vEnd = outputRising ? vdd : 0.0;
+    // The saturated ramp lasts the table's transition time, and its
+    // midpoint must land on the NLDM 50%->50% delay measured from the
+    // input's 50% crossing; TheveninModel::delay is measured from the
+    // input's ramp start, hence the inputSlew/2 shift.
+    m.slew = transition;
+    m.delay = std::max(0.0, nldmDelay + inputSlew / 2.0 - transition / 2.0);
+    // The driving resistance whose RC into this load reproduces the
+    // transition time (20%-80% of an RC step takes RC*ln(4)) — the same
+    // crossing-matching idea characterizeThevenin fits, in closed form.
+    m.rth = transition / (std::log(4.0) * loadCap);
+    return m;
+}
+
+std::size_t NldmSource::seedThevenins(CharCache& cache, double loadCap,
+                                      double inputSlew) const {
+    std::size_t seeded = 0;
+    for (const auto& name : bound_) {
+        const cell::Cell& c = cells_->cell(name);
+        for (const auto& input : c.inputNames()) {
+            for (const bool rising : {false, true}) {
+                const auto model =
+                    theveninFor(name, input, rising, loadCap, inputSlew);
+                if (!model) continue;
+                TheveninSpec spec;
+                spec.cell = &c;
+                spec.input = input;
+                spec.outputRising = rising;
+                spec.loadCap = loadCap;
+                spec.inputSlew = inputSlew;
+                if (cache.seedThevenin(spec, *model)) ++seeded;
+            }
+        }
+    }
+    return seeded;
+}
+
+}  // namespace sna::charlib

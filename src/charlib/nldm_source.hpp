@@ -1,0 +1,85 @@
+// NLDM-backed characterization: Liberty delay/slew tables as an alternate
+// source of driver Thevenin models, beside the SPICE DC sweeps.
+//
+// An industry flow arrives with a characterized .lib; re-deriving driver
+// timing from transistor-level sweeps both wastes work and diverges from
+// the numbers the rest of the flow signed off on. NldmSource binds a parsed
+// LibertyLibrary to the bundled cell::CellLibrary (case-insensitive names,
+// pin-by-pin), converts the NLDM cell_rise/cell_fall/rise_transition/
+// fall_transition tables into charlib::TheveninModel equivalents, and seeds
+// them into a CharCache under the exact keys the window-propagation path
+// (core::propagateWindows) queries — so .lib delays and slews feed the
+// wavefront with no change to the consumer, and everything the .lib cannot
+// provide (load curves, NRCs, propagation tables) still comes from SPICE.
+//
+// Binding problems are collected, not thrown: the front-end lint rules
+// (SNA-L601..L603) render them, and unbound cells simply fall back to the
+// SPICE characterization path.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "celllib/library.hpp"
+#include "charlib/char_cache.hpp"
+#include "parser/liberty_parser.hpp"
+
+namespace sna::charlib {
+
+class NldmSource {
+public:
+    struct Issue {
+        enum class Kind {
+            unboundCell,   ///< .lib cell with no library counterpart
+            pinMismatch,   ///< bound cell whose pins disagree
+            missingTable,  ///< arc lacking one of the four NLDM tables
+        };
+        Kind kind;
+        std::string cell;    ///< .lib cell name (lower-cased)
+        std::string pin;     ///< pin / related pin ("" for cell-level)
+        std::string detail;  ///< human-readable explanation
+    };
+
+    /// Bind every .lib cell to `cells` (which must outlive the source, as
+    /// must `lib`). Never throws on binding problems — see issues().
+    NldmSource(const parser::LibertyLibrary& lib,
+               const cell::CellLibrary& cells);
+
+    /// Binding problems in deterministic (cell, pin) order.
+    const std::vector<Issue>& issues() const { return issues_; }
+
+    /// Library-cell names (canonical CellLibrary spelling, sorted) that
+    /// bound cleanly with a complete arc for every input pin.
+    const std::vector<std::string>& boundCells() const { return bound_; }
+
+    /// Thevenin equivalent of `cellName` driving `loadCap` when input
+    /// `pin` switches with `inputSlew`, derived from the NLDM tables:
+    ///   delay = NLDM 50->50 delay + inputSlew/2 - slew/2  (ramp launch)
+    ///   slew  = NLDM output transition time (as the full ramp duration)
+    ///   rth   = transition / (ln(4) * loadCap)  (the RC whose 20-80 rise
+    ///           equals the table's transition time)
+    /// nullopt when the cell/pin is not cleanly bound. `cellName` accepts
+    /// either library's spelling (case-insensitive).
+    std::optional<TheveninModel> theveninFor(const std::string& cellName,
+                                             const std::string& pin,
+                                             bool outputRising,
+                                             double loadCap,
+                                             double inputSlew) const;
+
+    /// Seed `cache` with a Thevenin model for every (bound cell, input pin,
+    /// direction) at exactly (loadCap, inputSlew) — pass the consumer's
+    /// query point (core::kPropagationLoadCap and the TheveninSpec default
+    /// slew for the window-propagation path). Returns the number of entries
+    /// newly seeded.
+    std::size_t seedThevenins(CharCache& cache, double loadCap,
+                              double inputSlew) const;
+
+private:
+    const parser::LibertyLibrary* lib_;
+    const cell::CellLibrary* cells_;
+    std::vector<Issue> issues_;
+    std::vector<std::string> bound_;
+};
+
+}  // namespace sna::charlib

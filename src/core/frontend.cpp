@@ -1,0 +1,174 @@
+#include "core/frontend.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/propagate.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sna::core {
+
+namespace {
+
+/// Canonical CellLibrary spelling for a lower-cased netlist cell reference,
+/// or empty when the library has no such cell.
+std::string resolveCell(const cell::CellLibrary& lib,
+                        const std::string& name) {
+    for (const auto& candidate : lib.names()) {
+        if (str::iequals(candidate, name)) return candidate;
+    }
+    return {};
+}
+
+}  // namespace
+
+Design buildDesign(const parser::VerilogModule& module,
+                   const cell::CellLibrary& lib) {
+    Design design(lib);
+    for (const auto& vinst : module.instances) {
+        const std::string canonical = resolveCell(lib, vinst.cellName);
+        if (canonical.empty()) {
+            throw ModelError("instance '" + vinst.name +
+                             "' references undefined cell '" +
+                             vinst.cellName + "'");
+        }
+        const cell::Cell& c = lib.cell(canonical);
+        Instance inst;
+        inst.name = vinst.name;
+        inst.cellName = canonical;
+        for (const auto& [pin, net] : vinst.pinNets) {
+            const auto& pins = c.pins();
+            const bool known =
+                std::any_of(pins.begin(), pins.end(),
+                            [&](const cell::Pin& p) { return p.name == pin; });
+            if (!known) {
+                throw ModelError("instance '" + vinst.name +
+                                 "' connects unknown pin '" + pin +
+                                 "' of cell '" + canonical + "'");
+            }
+            if (net.empty()) {
+                throw ModelError("instance '" + vinst.name + "' leaves pin '" +
+                                 pin + "' unconnected");
+            }
+            inst.pinToNet[pin] = net;
+        }
+        for (const auto& pin : c.pins()) {
+            if (inst.pinToNet.count(pin.name) == 0) {
+                throw ModelError("instance '" + vinst.name + "' leaves pin '" +
+                                 pin.name + "' unconnected");
+            }
+        }
+        design.addInstance(std::move(inst));
+    }
+    return design;
+}
+
+void lintFrontEnd(const charlib::NldmSource& nldm,
+                  const parser::VerilogModule& module,
+                  const cell::CellLibrary& lib,
+                  const parser::SdcConstraints* sdc,
+                  lint::LintReport& report) {
+    using charlib::NldmSource;
+    const auto emit = [&](const char* rule, lint::Severity sev,
+                          const std::string& object,
+                          const std::string& message) {
+        lint::Diagnostic d;
+        d.rule = rule;
+        d.severity = sev;
+        d.object = object;
+        d.message = message;
+        report.diagnostics.push_back(std::move(d));
+    };
+
+    // ---- .lib binding (SNA-L601..L603), grouped by rule for stable order.
+    for (const auto& issue : nldm.issues()) {
+        if (issue.kind != NldmSource::Issue::Kind::unboundCell) continue;
+        emit("SNA-L601", lint::Severity::warning, issue.cell,
+             issue.detail + " — the cell falls back to SPICE "
+             "characterization");
+    }
+    for (const auto& issue : nldm.issues()) {
+        if (issue.kind != NldmSource::Issue::Kind::pinMismatch) continue;
+        emit("SNA-L602", lint::Severity::error,
+             issue.cell + ":" + issue.pin, issue.detail);
+    }
+    for (const auto& issue : nldm.issues()) {
+        if (issue.kind != NldmSource::Issue::Kind::missingTable) continue;
+        emit("SNA-L603", lint::Severity::warning,
+             issue.cell + ":" + issue.pin,
+             issue.detail + " — the arc falls back to SPICE "
+             "characterization");
+    }
+
+    // ---- netlist vs. library (SNA-L611..L613), instances in file order.
+    for (const auto& vinst : module.instances) {
+        const std::string canonical = resolveCell(lib, vinst.cellName);
+        if (canonical.empty()) {
+            emit("SNA-L611", lint::Severity::error, vinst.name,
+                 "references undefined cell '" + vinst.cellName + "'");
+            continue;
+        }
+        const cell::Cell& c = lib.cell(canonical);
+        for (const auto& [pin, net] : vinst.pinNets) {
+            const auto& pins = c.pins();
+            const bool known =
+                std::any_of(pins.begin(), pins.end(),
+                            [&](const cell::Pin& p) { return p.name == pin; });
+            if (!known) {
+                emit("SNA-L612", lint::Severity::error,
+                     vinst.name + ":" + pin,
+                     "cell '" + canonical + "' has no such pin");
+            } else if (net.empty()) {
+                emit("SNA-L613", lint::Severity::error,
+                     vinst.name + ":" + pin, "pin is explicitly unconnected");
+            }
+        }
+        for (const auto& pin : c.pins()) {
+            if (vinst.pinNets.count(pin.name) == 0) {
+                emit("SNA-L613", lint::Severity::error,
+                     vinst.name + ":" + pin.name, "pin is not connected");
+            }
+        }
+    }
+
+    // ---- SDC vs. netlist ports (SNA-L615), each port reported once.
+    if (sdc != nullptr) {
+        std::set<std::string> known(module.inputs.begin(),
+                                    module.inputs.end());
+        known.insert(module.outputs.begin(), module.outputs.end());
+        std::set<std::string> reported;
+        const auto checkPort = [&](const std::string& port,
+                                   const char* what) {
+            if (known.count(port) != 0 || !reported.insert(port).second)
+                return;
+            emit("SNA-L615", lint::Severity::warning, port,
+                 std::string(what) + " names a port the netlist does not "
+                 "declare — the constraint seeds nothing");
+        };
+        for (const auto& clock : sdc->clocks) {
+            for (const auto& port : clock.ports) {
+                checkPort(port, "create_clock");
+            }
+        }
+        for (const auto& d : sdc->inputDelays) {
+            checkPort(d.port, "set_input_delay");
+        }
+        for (const auto& d : sdc->outputDelays) {
+            checkPort(d.port, "set_output_delay");
+        }
+    }
+}
+
+std::size_t seedNldmCharacterization(const charlib::NldmSource& nldm,
+                                     charlib::CharCache& cache) {
+    // The window-propagation path queries TheveninSpec{cell, pin, dir,
+    // loadCap = kPropagationLoadCap, inputSlew = default}; seeding at any
+    // other point would just sit unused next to a SPICE-characterized
+    // entry.
+    const charlib::TheveninSpec defaults;
+    return nldm.seedThevenins(cache, kPropagationLoadCap,
+                              defaults.inputSlew);
+}
+
+}  // namespace sna::core

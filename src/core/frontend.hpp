@@ -1,0 +1,54 @@
+// Industry front end: .lib / Verilog / SDC into the analysis pipeline.
+//
+// buildDesign turns a structural Verilog module into a core::Design over
+// the bundled cell library; lintFrontEnd checks the three inputs against
+// each other before anything is built (stable rule IDs, SNA-L6xx family,
+// rendered through the same lint::Diagnostic machinery as the design
+// checker); seedNldmCharacterization pushes the .lib NLDM tables into the
+// CharCache at the window-propagation query point, so the wavefront's stage
+// delays and slews come from the library instead of SPICE sweeps.
+//
+//   front end   SNA-L601 .lib cell binds to no library cell        warning
+//               SNA-L602 .lib cell pin set/direction mismatch      error
+//               SNA-L603 .lib arc missing an NLDM table            warning
+//               SNA-L611 instance references an undefined cell     error
+//               SNA-L612 instance connects an unknown pin          error
+//               SNA-L613 instance leaves a cell pin unconnected    error
+//               SNA-L615 SDC constrains an unknown port            warning
+#pragma once
+
+#include <cstddef>
+
+#include "charlib/nldm_source.hpp"
+#include "core/sna.hpp"
+#include "lint/diagnostic.hpp"
+#include "parser/sdc_parser.hpp"
+#include "parser/verilog_parser.hpp"
+
+namespace sna::core {
+
+/// Build a Design from a parsed netlist: every instance's cell is resolved
+/// in `lib` (case-insensitive — netlists write INV_X1, the library's
+/// spelling wins) and every pin must be connected to a net. Throws
+/// ModelError naming the instance on the errors lintFrontEnd flags as
+/// SNA-L611..L613, so an unlinted build still fails loudly.
+Design buildDesign(const parser::VerilogModule& module,
+                   const cell::CellLibrary& lib);
+
+/// Cross-check the three front-end inputs (rule table above). `sdc` may be
+/// nullptr when no constraints were given. Diagnostics come back in
+/// deterministic (rule, object) order appended to `report`.
+void lintFrontEnd(const charlib::NldmSource& nldm,
+                  const parser::VerilogModule& module,
+                  const cell::CellLibrary& lib,
+                  const parser::SdcConstraints* sdc,
+                  lint::LintReport& report);
+
+/// Seed `cache` with NLDM-derived Thevenin models at the exact query point
+/// of the window-propagation path (kPropagationLoadCap, the TheveninSpec
+/// default input slew), so propagateWindows serves .lib delays/slews as
+/// cache hits. Returns the number of entries seeded.
+std::size_t seedNldmCharacterization(const charlib::NldmSource& nldm,
+                                     charlib::CharCache& cache);
+
+}  // namespace sna::core

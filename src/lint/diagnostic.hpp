@@ -13,6 +13,8 @@
 //   SNA-L3xx  timing windows
 //   SNA-L4xx  library / characterization
 //   SNA-L5xx  incremental-delta validity
+//   SNA-L6xx  industry front end (.lib / Verilog / SDC cross-checks,
+//             emitted by core/frontend.hpp's lintFrontEnd)
 #pragma once
 
 #include <cstddef>

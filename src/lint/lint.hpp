@@ -27,6 +27,11 @@
 //   delta          SNA-L501 delta names unknown net                 error
 //                  SNA-L502 delta names unknown instance            error
 //
+// The front-end family (SNA-L601..L615: .lib binding, netlist-vs-library,
+// SDC-vs-ports) lives in core/frontend.hpp's lintFrontEnd — it runs before
+// a Design exists, so it cannot be a lintDesign stage — and feeds the same
+// LintReport / waiver machinery.
+//
 // The stages run in the order above and each can be switched off; the
 // characterization stage (the only one that simulates — load-curve sweeps
 // and NRC bisections, shared with the analysis through the CharCache) is

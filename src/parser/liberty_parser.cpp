@@ -1,0 +1,548 @@
+#include "parser/liberty_parser.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sna::parser {
+
+const LibertyTimingArc* LibertyCell::arcFrom(
+    const std::string& inputPin) const {
+    const std::string low = str::toLower(inputPin);
+    for (const auto& [pinName, pin] : pins) {
+        for (const auto& arc : pin.arcs) {
+            if (arc.relatedPin == low) return &arc;
+        }
+    }
+    return nullptr;
+}
+
+const LibertyPin* LibertyCell::outputPin() const {
+    const LibertyPin* out = nullptr;
+    for (const auto& [pinName, pin] : pins) {
+        if (pin.dir != LibertyPinDir::output) continue;
+        if (out != nullptr) return nullptr;  // multi-output: unsupported
+        out = &pin;
+    }
+    return out;
+}
+
+const LibertyCell* LibertyLibrary::findCell(const std::string& name) const {
+    const auto it = cells.find(str::toLower(name));
+    return it == cells.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+// ---- tokenizer -----------------------------------------------------------
+
+struct Token {
+    enum Kind { Word, Punct, End } kind = End;
+    std::string text;  ///< word text (quotes stripped) or 1-char punct
+    int line = 0;
+};
+
+class Lexer {
+public:
+    explicit Lexer(const std::string& text) : text_(text) {}
+
+    Token next() {
+        skipGaps();
+        Token t;
+        t.line = line_;
+        if (pos_ >= text_.size()) return t;  // End
+        const char c = text_[pos_];
+        if (c == '"') {
+            t.kind = Token::Word;
+            ++pos_;
+            while (pos_ < text_.size() && text_[pos_] != '"') {
+                if (text_[pos_] == '\n') ++line_;
+                // Continuations inside strings (multi-line values lists).
+                if (text_[pos_] == '\\' && pos_ + 1 < text_.size() &&
+                    text_[pos_ + 1] == '\n') {
+                    ++line_;
+                    pos_ += 2;
+                    continue;
+                }
+                t.text += text_[pos_++];
+            }
+            if (pos_ >= text_.size()) {
+                throw ParseError("unterminated string", t.line);
+            }
+            ++pos_;  // closing quote
+            return t;
+        }
+        if (std::strchr("(){},;:", c) != nullptr) {
+            t.kind = Token::Punct;
+            t.text = c;
+            ++pos_;
+            return t;
+        }
+        // A bare word: identifier, number, or unit ("1ns").
+        t.kind = Token::Word;
+        while (pos_ < text_.size() &&
+               std::strchr("(){},;:\"", text_[pos_]) == nullptr &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) == 0) {
+            t.text += text_[pos_++];
+        }
+        return t;
+    }
+
+private:
+    void skipGaps() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                ++pos_;
+            } else if (c == '\\' && pos_ + 1 < text_.size() &&
+                       (text_[pos_ + 1] == '\n' ||
+                        (text_[pos_ + 1] == '\r' && pos_ + 2 < text_.size() &&
+                         text_[pos_ + 2] == '\n'))) {
+                pos_ += text_[pos_ + 1] == '\n' ? 2 : 3;
+                ++line_;
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '*') {
+                const int start = line_;
+                pos_ += 2;
+                while (pos_ + 1 < text_.size() &&
+                       !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+                    if (text_[pos_] == '\n') ++line_;
+                    ++pos_;
+                }
+                if (pos_ + 1 >= text_.size()) {
+                    throw ParseError("unterminated /* comment", start);
+                }
+                pos_ += 2;
+            } else {
+                return;
+            }
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+// ---- generic group tree --------------------------------------------------
+
+struct LibAttr {
+    std::string name;                 ///< lower-cased
+    std::vector<std::string> values;  ///< 1 for simple, n for complex
+    int line = 0;
+};
+
+struct LibGroup {
+    std::string kind;               ///< lower-cased ("library", "cell", ...)
+    std::vector<std::string> args;  ///< as written (quotes stripped)
+    std::vector<LibAttr> attrs;
+    std::vector<LibGroup> children;
+    int line = 0;
+
+    const LibAttr* attr(const std::string& name) const {
+        for (const auto& a : attrs) {
+            if (a.name == name) return &a;
+        }
+        return nullptr;
+    }
+};
+
+class GroupParser {
+public:
+    explicit GroupParser(const std::string& text) : lex_(text) {
+        advance();
+    }
+
+    /// The single top-level group (Liberty files are one `library`).
+    LibGroup parseTop() {
+        LibGroup g = parseGroup();
+        if (cur_.kind != Token::End) {
+            throw ParseError("trailing text after the top-level group",
+                             cur_.line);
+        }
+        return g;
+    }
+
+private:
+    void advance() { cur_ = lex_.next(); }
+
+    void expectPunct(char c) {
+        if (cur_.kind != Token::Punct || cur_.text[0] != c) {
+            throw ParseError(std::string("expected '") + c + "'", cur_.line);
+        }
+        advance();
+    }
+
+    bool atPunct(char c) const {
+        return cur_.kind == Token::Punct && cur_.text[0] == c;
+    }
+
+    // name ( args ) { statements }
+    LibGroup parseGroup() {
+        if (cur_.kind != Token::Word) {
+            throw ParseError("expected a group name", cur_.line);
+        }
+        LibGroup g;
+        g.kind = str::toLower(cur_.text);
+        g.line = cur_.line;
+        advance();
+        expectPunct('(');
+        while (!atPunct(')')) {
+            if (cur_.kind != Token::Word) {
+                throw ParseError("expected a group argument", cur_.line);
+            }
+            g.args.push_back(cur_.text);
+            advance();
+            if (atPunct(',')) advance();
+        }
+        advance();  // ')'
+        expectPunct('{');
+        while (!atPunct('}')) {
+            if (cur_.kind == Token::End) {
+                throw ParseError("unterminated group '" + g.kind + "'",
+                                 g.line);
+            }
+            parseStatement(g);
+        }
+        advance();  // '}'
+        return g;
+    }
+
+    // One of:  attr : value ;   |   attr ( v, ... ) ;   |   nested group
+    void parseStatement(LibGroup& g) {
+        if (cur_.kind != Token::Word) {
+            throw ParseError("expected an attribute or group name",
+                             cur_.line);
+        }
+        const Token name = cur_;
+        advance();
+        if (atPunct(':')) {
+            advance();
+            if (cur_.kind != Token::Word) {
+                throw ParseError("expected a value after ':'", cur_.line);
+            }
+            LibAttr a;
+            a.name = str::toLower(name.text);
+            a.line = name.line;
+            a.values.push_back(cur_.text);
+            advance();
+            expectPunct(';');
+            g.attrs.push_back(std::move(a));
+            return;
+        }
+        if (!atPunct('(')) {
+            throw ParseError("expected ':' or '(' after '" + name.text + "'",
+                             name.line);
+        }
+        // Look past the argument list: '{' makes it a nested group.
+        advance();
+        std::vector<std::string> values;
+        while (!atPunct(')')) {
+            if (cur_.kind != Token::Word) {
+                throw ParseError("expected a value in '" + name.text + "'",
+                                 cur_.line);
+            }
+            values.push_back(cur_.text);
+            advance();
+            if (atPunct(',')) advance();
+        }
+        advance();  // ')'
+        if (atPunct('{')) {
+            LibGroup child;
+            child.kind = str::toLower(name.text);
+            child.line = name.line;
+            child.args = std::move(values);
+            advance();  // '{'
+            while (!atPunct('}')) {
+                if (cur_.kind == Token::End) {
+                    throw ParseError(
+                        "unterminated group '" + child.kind + "'",
+                        child.line);
+                }
+                parseStatement(child);
+            }
+            advance();  // '}'
+            g.children.push_back(std::move(child));
+            return;
+        }
+        if (atPunct(';')) advance();  // the ';' is optional in the wild
+        LibAttr a;
+        a.name = str::toLower(name.text);
+        a.line = name.line;
+        a.values = std::move(values);
+        g.attrs.push_back(std::move(a));
+    }
+
+    Lexer lex_;
+    Token cur_;
+};
+
+// ---- interpretation ------------------------------------------------------
+
+double parseNumber(const std::string& text, int line) {
+    const auto v = str::parseDoubleToken(str::trim(text));
+    if (!v) throw ParseError("malformed number '" + text + "'", line);
+    return *v;
+}
+
+std::vector<double> parseNumberList(const std::string& text, int line) {
+    std::vector<double> out;
+    for (const auto tok : str::split(text, ", \t")) {
+        out.push_back(parseNumber(std::string(tok), line));
+    }
+    return out;
+}
+
+// "1ns" / "10ps" -> seconds.
+double parseTimeUnit(const std::string& text, int line) {
+    std::size_t digits = 0;
+    while (digits < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[digits])) != 0 ||
+            text[digits] == '.')) {
+        ++digits;
+    }
+    const double mult = digits == 0 ? 1.0
+                                    : parseNumber(text.substr(0, digits),
+                                                  line);
+    const std::string unit = str::toLower(text.substr(digits));
+    double scale = 0.0;
+    if (unit == "s") scale = 1.0;
+    if (unit == "ms") scale = 1e-3;
+    if (unit == "us") scale = 1e-6;
+    if (unit == "ns") scale = 1e-9;
+    if (unit == "ps") scale = 1e-12;
+    if (unit == "fs") scale = 1e-15;
+    if (scale == 0.0) {
+        throw ParseError("unknown time unit '" + text + "'", line);
+    }
+    return mult * scale;
+}
+
+struct Template {
+    std::vector<double> index1;  ///< .lib units
+    std::vector<double> index2;
+    std::string var1, var2;
+};
+
+Template parseTemplate(const LibGroup& g) {
+    Template t;
+    if (const auto* a = g.attr("variable_1")) {
+        t.var1 = str::toLower(a->values.at(0));
+    }
+    if (const auto* a = g.attr("variable_2")) {
+        t.var2 = str::toLower(a->values.at(0));
+    }
+    if (const auto* a = g.attr("index_1")) {
+        t.index1 = parseNumberList(a->values.at(0), a->line);
+    }
+    if (const auto* a = g.attr("index_2")) {
+        t.index2 = parseNumberList(a->values.at(0), a->line);
+    }
+    return t;
+}
+
+la::Grid2d parseTable(const LibGroup& g,
+                      const std::map<std::string, Template>& templates,
+                      double timeScale, double capScale) {
+    Template t;
+    if (!g.args.empty()) {
+        const auto it = templates.find(str::toLower(g.args[0]));
+        if (it == templates.end() && str::toLower(g.args[0]) != "scalar") {
+            throw ParseError("unknown lu_table_template '" + g.args[0] + "'",
+                             g.line);
+        }
+        if (it != templates.end()) t = it->second;
+    }
+    // In-group index_1/index_2 override the template's.
+    if (const auto* a = g.attr("index_1")) {
+        t.index1 = parseNumberList(a->values.at(0), a->line);
+    }
+    if (const auto* a = g.attr("index_2")) {
+        t.index2 = parseNumberList(a->values.at(0), a->line);
+    }
+    // The supported NLDM layout: rows = input slew, columns = output load.
+    // Templates that do not name their variables get the benefit of the
+    // doubt (the common convention); named ones must match.
+    if (!t.var1.empty() && t.var1 != "input_net_transition") {
+        throw ParseError("unsupported variable_1 '" + t.var1 +
+                             "' (want input_net_transition)",
+                         g.line);
+    }
+    if (!t.var2.empty() && t.var2 != "total_output_net_capacitance") {
+        throw ParseError("unsupported variable_2 '" + t.var2 +
+                             "' (want total_output_net_capacitance)",
+                         g.line);
+    }
+    const auto* values = g.attr("values");
+    if (values == nullptr) {
+        throw ParseError("table '" + g.kind + "' has no values", g.line);
+    }
+    std::vector<double> z;
+    std::size_t columns = 0;
+    for (const auto& row : values->values) {
+        const auto nums = parseNumberList(row, values->line);
+        if (columns == 0) columns = nums.size();
+        if (nums.size() != columns) {
+            throw ParseError("ragged values rows in '" + g.kind + "'",
+                             values->line);
+        }
+        for (const double v : nums) z.push_back(v * timeScale);
+    }
+    if (t.index1.size() != values->values.size() ||
+        t.index2.size() != columns) {
+        throw ParseError("values shape does not match index_1 x index_2 in '" +
+                             g.kind + "'",
+                         values->line);
+    }
+    std::vector<double> xs, ys;
+    xs.reserve(t.index1.size());
+    for (const double v : t.index1) xs.push_back(v * timeScale);
+    ys.reserve(t.index2.size());
+    for (const double v : t.index2) ys.push_back(v * capScale);
+    try {
+        return la::Grid2d(std::move(xs), std::move(ys), std::move(z));
+    } catch (const Error& e) {
+        throw ParseError(std::string("bad table axes: ") + e.what(), g.line);
+    }
+}
+
+LibertyTimingArc parseTimingArc(const LibGroup& g,
+                                const std::map<std::string, Template>& tpl,
+                                double timeScale, double capScale) {
+    LibertyTimingArc arc;
+    arc.line = g.line;
+    if (const auto* a = g.attr("related_pin")) {
+        arc.relatedPin = str::toLower(a->values.at(0));
+    } else {
+        throw ParseError("timing group has no related_pin", g.line);
+    }
+    for (const auto& child : g.children) {
+        if (child.kind == "cell_rise") {
+            arc.cellRise = parseTable(child, tpl, timeScale, capScale);
+        } else if (child.kind == "cell_fall") {
+            arc.cellFall = parseTable(child, tpl, timeScale, capScale);
+        } else if (child.kind == "rise_transition") {
+            arc.riseTransition = parseTable(child, tpl, timeScale, capScale);
+        } else if (child.kind == "fall_transition") {
+            arc.fallTransition = parseTable(child, tpl, timeScale, capScale);
+        }
+        // rise_constraint etc.: not a delay arc, skipped.
+    }
+    return arc;
+}
+
+LibertyPin parsePin(const LibGroup& g,
+                    const std::map<std::string, Template>& tpl,
+                    double timeScale, double capScale) {
+    if (g.args.empty()) throw ParseError("pin group has no name", g.line);
+    LibertyPin pin;
+    pin.name = str::toLower(g.args[0]);
+    pin.line = g.line;
+    if (const auto* a = g.attr("direction")) {
+        const std::string d = str::toLower(a->values.at(0));
+        if (d == "input") {
+            pin.dir = LibertyPinDir::input;
+        } else if (d == "output") {
+            pin.dir = LibertyPinDir::output;
+        } else if (d == "inout") {
+            pin.dir = LibertyPinDir::inout;
+        } else if (d == "internal") {
+            pin.dir = LibertyPinDir::internal;
+        } else {
+            throw ParseError("unknown pin direction '" + d + "'", a->line);
+        }
+    }
+    if (const auto* a = g.attr("capacitance")) {
+        pin.capacitance = parseNumber(a->values.at(0), a->line) * capScale;
+    }
+    if (const auto* a = g.attr("function")) {
+        pin.function = a->values.at(0);
+    }
+    for (const auto& child : g.children) {
+        if (child.kind == "timing") {
+            pin.arcs.push_back(
+                parseTimingArc(child, tpl, timeScale, capScale));
+        }
+    }
+    return pin;
+}
+
+}  // namespace
+
+LibertyLibrary parseLiberty(const std::string& text) {
+    GroupParser parser(text);
+    const LibGroup top = parser.parseTop();
+    if (top.kind != "library") {
+        throw ParseError("top-level group must be 'library', got '" +
+                             top.kind + "'",
+                         top.line);
+    }
+    LibertyLibrary lib;
+    if (!top.args.empty()) lib.name = top.args[0];
+
+    if (const auto* a = top.attr("time_unit")) {
+        lib.timeScale = parseTimeUnit(a->values.at(0), a->line);
+    }
+    if (const auto* a = top.attr("capacitive_load_unit")) {
+        if (a->values.size() != 2) {
+            throw ParseError("capacitive_load_unit needs (value, unit)",
+                             a->line);
+        }
+        const double mult = parseNumber(a->values[0], a->line);
+        const std::string unit = str::toLower(a->values[1]);
+        double scale = 0.0;
+        if (unit == "ff") scale = 1e-15;
+        if (unit == "pf") scale = 1e-12;
+        if (scale == 0.0) {
+            throw ParseError("unknown capacitance unit '" + unit + "'",
+                             a->line);
+        }
+        lib.capScale = mult * scale;
+    }
+
+    std::map<std::string, Template> templates;
+    for (const auto& child : top.children) {
+        if (child.kind != "lu_table_template") continue;
+        if (child.args.empty()) {
+            throw ParseError("lu_table_template has no name", child.line);
+        }
+        templates[str::toLower(child.args[0])] = parseTemplate(child);
+    }
+
+    for (const auto& child : top.children) {
+        if (child.kind != "cell") continue;
+        if (child.args.empty()) {
+            throw ParseError("cell group has no name", child.line);
+        }
+        LibertyCell cell;
+        cell.name = str::toLower(child.args[0]);
+        cell.line = child.line;
+        for (const auto& sub : child.children) {
+            if (sub.kind != "pin") continue;
+            LibertyPin pin =
+                parsePin(sub, templates, lib.timeScale, lib.capScale);
+            const std::string key = pin.name;
+            if (!cell.pins.emplace(key, std::move(pin)).second) {
+                throw ParseError("duplicate pin '" + key + "' in cell '" +
+                                     cell.name + "'",
+                                 sub.line);
+            }
+        }
+        const std::string key = cell.name;
+        if (!lib.cells.emplace(key, std::move(cell)).second) {
+            throw ParseError("duplicate cell '" + key + "'", child.line);
+        }
+    }
+    return lib;
+}
+
+}  // namespace sna::parser

@@ -1,0 +1,77 @@
+// Liberty (.lib) library parser — the NLDM subset the noise flow consumes.
+//
+// Supported grammar: the group/attribute skeleton (`name (args) { ... }`,
+// `attr : value ;`, `attr (v1, v2, ...);`), `/* */` and `//` comments,
+// quoted strings, and backslash line continuations. Interpreted groups:
+// `library` (time_unit, capacitive_load_unit, lu_table_template), `cell`,
+// `pin` (direction, capacitance, function), and `timing` with the four NLDM
+// tables `cell_rise` / `cell_fall` / `rise_transition` / `fall_transition`
+// indexed by (input_net_transition, total_output_net_capacitance).
+// Everything else is tolerated and skipped, so real vendor libraries parse
+// even though only the delay/slew model is consumed. All values are
+// converted to SI at parse time; cell and pin names are lower-cased (the
+// SPEF and Verilog readers do the same). Errors throw line-numbered
+// sna::ParseError.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "la/interp.hpp"
+
+namespace sna::parser {
+
+enum class LibertyPinDir { input, output, inout, internal };
+
+/// One `timing () { ... }` group on an output pin. Tables are in SI:
+/// axis 1 = input slew (s), axis 2 = output load (F), values in seconds.
+/// A table the group does not define stays empty (lint rule SNA-L603).
+struct LibertyTimingArc {
+    std::string relatedPin;  ///< lower-cased input pin name
+    la::Grid2d cellRise;        ///< 50%->50% delay, output rising
+    la::Grid2d cellFall;        ///< 50%->50% delay, output falling
+    la::Grid2d riseTransition;  ///< output slew, rising
+    la::Grid2d fallTransition;  ///< output slew, falling
+    int line = 0;
+
+    bool complete() const {
+        return !cellRise.empty() && !cellFall.empty() &&
+               !riseTransition.empty() && !fallTransition.empty();
+    }
+};
+
+struct LibertyPin {
+    std::string name;  ///< lower-cased
+    LibertyPinDir dir = LibertyPinDir::input;
+    double capacitance = 0.0;  ///< F (input pins)
+    std::string function;      ///< boolean function text, as written
+    std::vector<LibertyTimingArc> arcs;  ///< output pins only
+    int line = 0;
+};
+
+struct LibertyCell {
+    std::string name;  ///< lower-cased
+    std::map<std::string, LibertyPin> pins;
+    int line = 0;
+
+    /// The arc driving this cell's output from `inputPin`, or nullptr.
+    const LibertyTimingArc* arcFrom(const std::string& inputPin) const;
+    /// The single output pin, or nullptr when none / more than one.
+    const LibertyPin* outputPin() const;
+};
+
+struct LibertyLibrary {
+    std::string name;
+    double timeScale = 1e-9;  ///< .lib time unit in seconds (default ns)
+    double capScale = 1e-12;  ///< .lib load unit in farads (default pF)
+    std::map<std::string, LibertyCell> cells;  ///< keyed lower-cased
+
+    /// Case-insensitive cell lookup, or nullptr.
+    const LibertyCell* findCell(const std::string& name) const;
+};
+
+/// Parse Liberty text. Throws sna::ParseError with line numbers.
+LibertyLibrary parseLiberty(const std::string& text);
+
+}  // namespace sna::parser

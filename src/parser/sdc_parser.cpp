@@ -1,0 +1,254 @@
+#include "parser/sdc_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sna::parser {
+
+core::TimingWindows SdcConstraints::toInputWindows() const {
+    core::TimingWindows out;
+    for (const auto& d : inputDelays) {
+        const core::TimingWindow* prev = out.find(d.port);
+        core::TimingWindow w =
+            prev != nullptr
+                ? core::TimingWindow{std::min(prev->earliest, d.minDelay),
+                                     std::max(prev->latest, d.maxDelay)}
+                : core::TimingWindow{d.minDelay, d.maxDelay};
+        out.set(d.port, w);
+    }
+    return out;
+}
+
+namespace {
+
+// "1ns" / "ns" / "10ps" -> seconds.
+double parseSdcTimeUnit(const std::string& text, int line) {
+    std::size_t digits = 0;
+    while (digits < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[digits])) != 0 ||
+            text[digits] == '.')) {
+        ++digits;
+    }
+    double mult = 1.0;
+    if (digits > 0) {
+        const auto v = str::parseDoubleToken(text.substr(0, digits));
+        if (!v) throw ParseError("bad time unit '" + text + "'", line);
+        mult = *v;
+    }
+    const std::string unit = str::toLower(text.substr(digits));
+    double scale = 0.0;
+    if (unit == "s") scale = 1.0;
+    if (unit == "ms") scale = 1e-3;
+    if (unit == "us") scale = 1e-6;
+    if (unit == "ns") scale = 1e-9;
+    if (unit == "ps") scale = 1e-12;
+    if (unit == "fs") scale = 1e-15;
+    if (scale == 0.0) {
+        throw ParseError("unknown time unit '" + text + "'", line);
+    }
+    return mult * scale;
+}
+
+struct Command {
+    std::vector<std::string> tokens;
+    int line = 0;  ///< line the command started on
+};
+
+/// Split into commands: one per logical line ('\' continues, '#' comments,
+/// ';' also terminates). Brackets and braces separate tokens — the only
+/// bracketed construct interpreted is [get_ports {...}], whose contents
+/// flatten into the token stream as "get_ports" followed by the port names.
+std::vector<Command> tokenize(const std::string& text) {
+    std::vector<Command> out;
+    std::istringstream is(text);
+    std::string raw;
+    int lineNo = 0;
+    Command cur;
+    const auto flush = [&] {
+        if (!cur.tokens.empty()) out.push_back(std::move(cur));
+        cur = Command{};
+    };
+    while (std::getline(is, raw)) {
+        ++lineNo;
+        if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+        const std::size_t hash = raw.find('#');
+        if (hash != std::string::npos) raw.resize(hash);
+        bool continued = false;
+        std::string_view body = str::trim(raw);
+        if (!body.empty() && body.back() == '\\') {
+            continued = true;
+            body.remove_suffix(1);
+        }
+        std::string spaced;
+        spaced.reserve(body.size());
+        for (const char c : body) {
+            if (c == '[' || c == ']' || c == '{' || c == '}') {
+                spaced += ' ';
+            } else if (c == ';') {
+                spaced += '\n';  // handled below as a command break
+            } else {
+                spaced += c;
+            }
+        }
+        const auto pieces = str::split(spaced, "\n");
+        for (std::size_t p = 0; p < pieces.size(); ++p) {
+            for (const auto tok : str::split(pieces[p])) {
+                if (cur.tokens.empty()) cur.line = lineNo;
+                cur.tokens.emplace_back(tok);
+            }
+            if (p + 1 < pieces.size()) flush();  // ';' ended a command
+        }
+        if (!continued) flush();
+    }
+    flush();
+    return out;
+}
+
+double number(const std::string& tok, int line) {
+    const auto v = str::parseDoubleToken(tok);
+    if (!v) throw ParseError("malformed number '" + tok + "'", line);
+    return *v;
+}
+
+bool isFlag(const std::string& tok) {
+    // A flag starts with '-' and is not a negative number.
+    return tok.size() > 1 && tok[0] == '-' &&
+           !str::parseDoubleToken(tok).has_value();
+}
+
+void parseCreateClock(const Command& cmd, SdcConstraints& sdc) {
+    SdcClock clock;
+    clock.line = cmd.line;
+    bool sawPeriod = false;
+    for (std::size_t i = 1; i < cmd.tokens.size(); ++i) {
+        const std::string& tok = cmd.tokens[i];
+        if (tok == "-period") {
+            if (++i >= cmd.tokens.size()) {
+                throw ParseError("-period needs a value", cmd.line);
+            }
+            clock.period = number(cmd.tokens[i], cmd.line) * sdc.timeScale;
+            sawPeriod = true;
+        } else if (tok == "-name") {
+            if (++i >= cmd.tokens.size()) {
+                throw ParseError("-name needs a value", cmd.line);
+            }
+            clock.name = cmd.tokens[i];
+        } else if (tok == "-waveform") {
+            // Edge list: consume the following numbers (unused — windows
+            // are anchored at the t=0 edge).
+            while (i + 1 < cmd.tokens.size() &&
+                   str::parseDoubleToken(cmd.tokens[i + 1]).has_value()) {
+                ++i;
+            }
+        } else if (tok == "get_ports") {
+            while (i + 1 < cmd.tokens.size() && !isFlag(cmd.tokens[i + 1]) &&
+                   cmd.tokens[i + 1] != "get_ports") {
+                clock.ports.push_back(str::toLower(cmd.tokens[++i]));
+            }
+        } else if (isFlag(tok)) {
+            throw ParseError("unsupported create_clock option '" + tok + "'",
+                             cmd.line);
+        } else {
+            clock.ports.push_back(str::toLower(tok));
+        }
+    }
+    if (!sawPeriod) throw ParseError("create_clock needs -period", cmd.line);
+    if (clock.name.empty()) {
+        if (clock.ports.empty()) {
+            throw ParseError("create_clock needs -name or a port", cmd.line);
+        }
+        clock.name = clock.ports.front();
+    }
+    sdc.clocks.push_back(std::move(clock));
+}
+
+void parseIoDelay(const Command& cmd, SdcConstraints& sdc, bool isInput) {
+    bool sawValue = false;
+    double value = 0.0;
+    std::string clockName;
+    std::vector<std::string> ports;
+    for (std::size_t i = 1; i < cmd.tokens.size(); ++i) {
+        const std::string& tok = cmd.tokens[i];
+        if (tok == "-clock") {
+            if (++i >= cmd.tokens.size()) {
+                throw ParseError("-clock needs a value", cmd.line);
+            }
+            clockName = cmd.tokens[i];
+        } else if (tok == "-min" || tok == "-max") {
+            // Each statement's value enters the port's window hull either
+            // way; the flags are accepted so min/max statement pairs parse.
+        } else if (tok == "-add_delay") {
+            // Accumulation is this reader's default behavior.
+        } else if (tok == "get_ports") {
+            while (i + 1 < cmd.tokens.size() && !isFlag(cmd.tokens[i + 1]) &&
+                   cmd.tokens[i + 1] != "get_ports") {
+                ports.push_back(str::toLower(cmd.tokens[++i]));
+            }
+        } else if (isFlag(tok)) {
+            throw ParseError("unsupported option '" + tok + "'", cmd.line);
+        } else if (!sawValue &&
+                   str::parseDoubleToken(tok).has_value()) {
+            value = number(tok, cmd.line) * sdc.timeScale;
+            sawValue = true;
+        } else {
+            ports.push_back(str::toLower(tok));
+        }
+    }
+    if (!sawValue) {
+        throw ParseError(std::string(isInput ? "set_input_delay"
+                                             : "set_output_delay") +
+                             " needs a delay value",
+                         cmd.line);
+    }
+    if (ports.empty()) {
+        throw ParseError("no ports given (use [get_ports {...}])", cmd.line);
+    }
+    for (const auto& port : ports) {
+        SdcIoDelay d;
+        d.port = port;
+        d.clock = clockName;
+        d.line = cmd.line;
+        // One value per statement, recorded as a degenerate [v, v] window;
+        // toInputWindows hulls the records, so a -min 0 / -max 2 pair
+        // yields [0, 2].
+        d.minDelay = value;
+        d.maxDelay = value;
+        (isInput ? sdc.inputDelays : sdc.outputDelays).push_back(d);
+    }
+}
+
+}  // namespace
+
+SdcConstraints parseSdc(const std::string& text) {
+    SdcConstraints sdc;
+    for (const Command& cmd : tokenize(text)) {
+        const std::string& verb = cmd.tokens.front();
+        if (verb == "set_units") {
+            for (std::size_t i = 1; i < cmd.tokens.size(); ++i) {
+                if (cmd.tokens[i] == "-time") {
+                    if (++i >= cmd.tokens.size()) {
+                        throw ParseError("-time needs a unit", cmd.line);
+                    }
+                    sdc.timeScale = parseSdcTimeUnit(cmd.tokens[i], cmd.line);
+                }
+                // Other unit kinds (capacitance, resistance) are unused.
+            }
+        } else if (verb == "create_clock") {
+            parseCreateClock(cmd, sdc);
+        } else if (verb == "set_input_delay") {
+            parseIoDelay(cmd, sdc, /*isInput=*/true);
+        } else if (verb == "set_output_delay") {
+            parseIoDelay(cmd, sdc, /*isInput=*/false);
+        } else {
+            throw ParseError("unsupported SDC command '" + verb + "'",
+                             cmd.line);
+        }
+    }
+    return sdc;
+}
+
+}  // namespace sna::parser

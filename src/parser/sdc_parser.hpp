@@ -1,0 +1,56 @@
+// SDC (Synopsys Design Constraints) ingestion — the subset that seeds
+// switching windows at the primary inputs.
+//
+// Supported commands: `create_clock -period P -name N [-waveform {..}]
+// [get_ports {...}]`, `set_input_delay` / `set_output_delay` with `-clock`,
+// `-min`, `-max`, and `[get_ports {...}]` or bare port operands, and
+// `set_units -time UNIT`. `#` comments and backslash line continuations.
+// Unknown commands throw a line-numbered ParseError (a constraint the
+// reader would silently drop could hide a real window), and port names are
+// lower-cased to match the Verilog/SPEF convention.
+//
+// Window semantics: a port's input delay bounds when its net can switch
+// after the (virtual) clock edge at t = 0, so [min over -min values, max
+// over -max values] becomes the port net's TimingWindow in absolute
+// seconds — exactly what a hand-written windows file supplies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/timing_windows.hpp"
+
+namespace sna::parser {
+
+struct SdcClock {
+    std::string name;
+    double period = 0.0;  ///< s
+    std::vector<std::string> ports;  ///< empty: virtual clock
+    int line = 0;
+};
+
+struct SdcIoDelay {
+    std::string port;   ///< lower-cased
+    std::string clock;  ///< -clock argument ("" when omitted)
+    double minDelay = 0.0;  ///< s
+    double maxDelay = 0.0;  ///< s
+    int line = 0;
+};
+
+struct SdcConstraints {
+    double timeScale = 1e-9;  ///< SDC time unit in seconds (default ns)
+    std::vector<SdcClock> clocks;
+    std::vector<SdcIoDelay> inputDelays;
+    std::vector<SdcIoDelay> outputDelays;
+
+    /// Per-port switching windows from the input delays: each constrained
+    /// port gets the hull [smallest, largest] over all its set_input_delay
+    /// values, so the usual -min/-max statement pair becomes [min, max].
+    /// Ports with no set_input_delay get no entry (unbounded by default).
+    core::TimingWindows toInputWindows() const;
+};
+
+/// Parse SDC text. Throws sna::ParseError with line numbers.
+SdcConstraints parseSdc(const std::string& text);
+
+}  // namespace sna::parser

@@ -1,0 +1,255 @@
+#include "parser/verilog_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sna::parser {
+
+bool VerilogModule::isInput(const std::string& net) const {
+    const std::string low = str::toLower(net);
+    return std::find(inputs.begin(), inputs.end(), low) != inputs.end();
+}
+
+namespace {
+
+struct Token {
+    enum Kind { Word, Punct, End } kind = End;
+    std::string text;
+    int line = 0;
+};
+
+class Lexer {
+public:
+    explicit Lexer(const std::string& text) : text_(text) {}
+
+    Token next() {
+        skipGaps();
+        Token t;
+        t.line = line_;
+        if (pos_ >= text_.size()) return t;
+        const char c = text_[pos_];
+        if (std::strchr("();,.[]=#{}", c) != nullptr) {
+            t.kind = Token::Punct;
+            t.text = c;
+            ++pos_;
+            return t;
+        }
+        if (c == '\\') {
+            // Escaped identifier: backslash to the next whitespace.
+            t.kind = Token::Word;
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isspace(static_cast<unsigned char>(text_[pos_])) ==
+                       0) {
+                t.text += text_[pos_++];
+            }
+            if (t.text.empty()) {
+                throw ParseError("empty escaped identifier", t.line);
+            }
+            return t;
+        }
+        t.kind = Token::Word;
+        while (pos_ < text_.size() &&
+               std::strchr("();,.[]=#{}", text_[pos_]) == nullptr &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) == 0) {
+            t.text += text_[pos_++];
+        }
+        return t;
+    }
+
+private:
+    void skipGaps() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                ++pos_;
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '*') {
+                const int start = line_;
+                pos_ += 2;
+                while (pos_ + 1 < text_.size() &&
+                       !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+                    if (text_[pos_] == '\n') ++line_;
+                    ++pos_;
+                }
+                if (pos_ + 1 >= text_.size()) {
+                    throw ParseError("unterminated /* comment", start);
+                }
+                pos_ += 2;
+            } else {
+                return;
+            }
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+class NetlistParser {
+public:
+    explicit NetlistParser(const std::string& text) : lex_(text) {
+        advance();
+    }
+
+    VerilogModule parse() {
+        expectWord("module");
+        VerilogModule m;
+        m.name = str::toLower(expectIdent("module name"));
+        if (atPunct('(')) {
+            advance();
+            while (!atPunct(')')) {
+                m.ports.push_back(str::toLower(expectIdent("port name")));
+                if (atPunct(',')) advance();
+            }
+            advance();  // ')'
+        }
+        expectPunct(';');
+
+        while (!(cur_.kind == Token::Word && cur_.text == "endmodule")) {
+            if (cur_.kind == Token::End) {
+                throw ParseError("missing endmodule", cur_.line);
+            }
+            parseItem(m);
+        }
+        advance();  // endmodule
+        if (cur_.kind != Token::End) {
+            throw ParseError(
+                "unexpected text after endmodule (one module per file)",
+                cur_.line);
+        }
+        return m;
+    }
+
+private:
+    void advance() { cur_ = lex_.next(); }
+
+    bool atPunct(char c) const {
+        return cur_.kind == Token::Punct && cur_.text[0] == c;
+    }
+
+    void expectPunct(char c) {
+        if (!atPunct(c)) {
+            throw ParseError(std::string("expected '") + c + "'", cur_.line);
+        }
+        advance();
+    }
+
+    void expectWord(const std::string& w) {
+        if (cur_.kind != Token::Word || cur_.text != w) {
+            throw ParseError("expected '" + w + "'", cur_.line);
+        }
+        advance();
+    }
+
+    std::string expectIdent(const char* what) {
+        if (cur_.kind != Token::Word) {
+            throw ParseError(std::string("expected ") + what, cur_.line);
+        }
+        std::string out = cur_.text;
+        advance();
+        return out;
+    }
+
+    // input/output/wire declaration or a cell instantiation.
+    void parseItem(VerilogModule& m) {
+        if (cur_.kind == Token::Punct) {
+            if (atPunct('[')) {
+                throw ParseError(
+                    "bus ranges ([msb:lsb]) are not supported — flatten "
+                    "the netlist to scalar nets",
+                    cur_.line);
+            }
+            throw ParseError("unexpected '" + cur_.text + "'", cur_.line);
+        }
+        const std::string head = cur_.text;
+        if (head == "assign" || head == "always" || head == "initial") {
+            throw ParseError("'" + head +
+                                 "' is not structural — only gate "
+                                 "instantiations are supported",
+                             cur_.line);
+        }
+        if (head == "input" || head == "output" || head == "wire") {
+            advance();
+            if (atPunct('[')) {
+                throw ParseError(
+                    "bus ranges ([msb:lsb]) are not supported — flatten "
+                    "the netlist to scalar nets",
+                    cur_.line);
+            }
+            auto& list = head == "input"
+                             ? m.inputs
+                             : (head == "output" ? m.outputs : m.wires);
+            list.push_back(str::toLower(expectIdent("net name")));
+            while (atPunct(',')) {
+                advance();
+                list.push_back(str::toLower(expectIdent("net name")));
+            }
+            expectPunct(';');
+            return;
+        }
+        parseInstance(m, head);
+    }
+
+    // CELL inst ( .pin(net), ... ) ;
+    void parseInstance(VerilogModule& m, const std::string& cellName) {
+        VerilogInstance inst;
+        inst.cellName = str::toLower(cellName);
+        inst.line = cur_.line;
+        advance();  // cell name
+        if (atPunct('#')) {
+            throw ParseError("parameter overrides (#(...)) are not supported",
+                             cur_.line);
+        }
+        inst.name = str::toLower(expectIdent("instance name"));
+        expectPunct('(');
+        while (!atPunct(')')) {
+            if (!atPunct('.')) {
+                throw ParseError(
+                    "positional connections are not supported — use named "
+                    "connections (.pin(net))",
+                    cur_.line);
+            }
+            advance();  // '.'
+            const std::string pin =
+                str::toLower(expectIdent("pin name"));
+            expectPunct('(');
+            std::string net;
+            if (!atPunct(')')) {
+                net = str::toLower(expectIdent("net name"));
+            }
+            expectPunct(')');
+            if (!inst.pinNets.emplace(pin, net).second) {
+                throw ParseError("pin '" + pin + "' connected twice on '" +
+                                     inst.name + "'",
+                                 cur_.line);
+            }
+            if (atPunct(',')) advance();
+        }
+        advance();  // ')'
+        expectPunct(';');
+        m.instances.push_back(std::move(inst));
+    }
+
+    Lexer lex_;
+    Token cur_;
+};
+
+}  // namespace
+
+VerilogModule parseVerilog(const std::string& text) {
+    return NetlistParser(text).parse();
+}
+
+}  // namespace sna::parser

@@ -1,0 +1,42 @@
+// Structural gate-level Verilog netlist reader.
+//
+// Supported grammar: one `module` with a port list, `input` / `output` /
+// `wire` declarations, and cell instantiations with named pin connections
+// (`INV_X1 u1 (.A(n1), .Y(n2));`). `//` and `/* */` comments. Everything a
+// synthesized flat netlist needs — and nothing more: `assign`, behavioral
+// blocks, bus ranges (`[3:0]`), positional connections, and parameter
+// overrides throw a line-numbered ParseError naming the construct, so an
+// unsupported netlist fails loudly instead of dropping logic. All names are
+// lower-cased to match the SPEF reader's convention.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sna::parser {
+
+struct VerilogInstance {
+    std::string cellName;  ///< lower-cased cell/module reference
+    std::string name;      ///< lower-cased instance name
+    /// pin name -> net name, both lower-cased. An explicitly unconnected
+    /// pin (`.A()`) maps to the empty string.
+    std::map<std::string, std::string> pinNets;
+    int line = 0;
+};
+
+struct VerilogModule {
+    std::string name;  ///< lower-cased
+    std::vector<std::string> ports;    ///< port-list order
+    std::vector<std::string> inputs;   ///< declaration order
+    std::vector<std::string> outputs;  ///< declaration order
+    std::vector<std::string> wires;    ///< declaration order
+    std::vector<VerilogInstance> instances;  ///< file order
+
+    bool isInput(const std::string& net) const;
+};
+
+/// Parse one structural module. Throws sna::ParseError with line numbers.
+VerilogModule parseVerilog(const std::string& text);
+
+}  // namespace sna::parser

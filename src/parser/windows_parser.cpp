@@ -30,7 +30,7 @@ double parseBound(std::string_view tok, double scale, bool isEarliest,
                           : std::numeric_limits<double>::infinity();
     }
     const auto v = str::parseSpiceNumber(tok);
-    // strtod underneath accepts "nan"/"inf" spellings; a NaN bound makes
+    // The number parser accepts "nan"/"inf" spellings; a NaN bound makes
     // every overlap test false and an explicit infinity is '*''s job, so
     // both are malformed input here, not numbers.
     if (!v.has_value() || !std::isfinite(*v)) {

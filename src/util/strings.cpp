@@ -1,7 +1,8 @@
 #include "util/strings.hpp"
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
+#include <cmath>
 
 namespace sna::str {
 
@@ -58,12 +59,15 @@ bool istartsWith(std::string_view s, std::string_view prefix) {
 std::optional<double> parseSpiceNumber(std::string_view s) {
     s = trim(s);
     if (s.empty()) return std::nullopt;
-    std::string buf(s);
-    char* end = nullptr;
-    const double base = std::strtod(buf.c_str(), &end);
-    if (end == buf.c_str()) return std::nullopt;
+    // std::from_chars, not strtod: strtod honors LC_NUMERIC, so "1.5" would
+    // parse as 1 (and then fail on the '.') under a comma-decimal locale.
+    double base = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), base);
+    if (ec != std::errc() || ptr == s.data()) return std::nullopt;
 
-    std::string_view rest = trim(std::string_view(end));
+    std::string_view rest = trim(s.substr(
+        static_cast<std::size_t>(ptr - s.data())));
     if (rest.empty()) return base;
 
     // Engineering suffix; anything after a recognized suffix is a unit name
@@ -100,6 +104,47 @@ std::optional<double> parseSpiceNumber(std::string_view s) {
             return std::nullopt;
     }
     return base * scale;
+}
+
+std::optional<double> parseDoubleToken(std::string_view s) {
+    if (s.empty()) return std::nullopt;
+    bool negative = false;
+    std::string_view body = s;
+    if (body.front() == '+' || body.front() == '-') {
+        negative = body.front() == '-';
+        body.remove_prefix(1);
+        if (body.empty()) return std::nullopt;
+    }
+    double v = 0.0;
+    const char* begin = body.data();
+    const char* end = body.data() + body.size();
+    std::from_chars_result r{};
+    if (body.size() > 2 && body[0] == '0' &&
+        (body[1] == 'x' || body[1] == 'X')) {
+        // Hex-float ("0x1.8p+1"): strtod's and printf %a's spelling.
+        // std::from_chars' hex format takes the digits without the prefix.
+        r = std::from_chars(begin + 2, end, v, std::chars_format::hex);
+    } else {
+        r = std::from_chars(begin, end, v, std::chars_format::general);
+    }
+    if (r.ec != std::errc() || r.ptr != end) return std::nullopt;
+    return negative ? -v : v;
+}
+
+std::string formatDoubleHex(double v) {
+    if (!std::isfinite(v)) {
+        // to_chars spells these "inf"/"-inf"/"nan"; emit as-is (no 0x).
+        return std::signbit(v) ? (std::isnan(v) ? "-nan" : "-inf")
+                               : (std::isnan(v) ? "nan" : "inf");
+    }
+    char buf[64];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::hex);
+    std::string out(buf, r.ptr);
+    // to_chars omits the 0x prefix; add it (after the sign) so the output
+    // matches what %a used to write and stays self-describing.
+    out.insert(out.front() == '-' ? 1 : 0, "0x");
+    return out;
 }
 
 }  // namespace sna::str

@@ -27,7 +27,22 @@ bool istartsWith(std::string_view s, std::string_view prefix);
 /// Parse a SPICE-style number with an optional engineering suffix:
 /// t, g, meg, k, m, u, n, p, f (case-insensitive; trailing unit letters such
 /// as "k" in "2.2kOhm" are tolerated after the suffix). Returns nullopt on
-/// malformed input.
+/// malformed input. Locale-independent: the decimal separator is always
+/// '.', whatever LC_NUMERIC says.
 std::optional<double> parseSpiceNumber(std::string_view s);
+
+/// Parse `s` entirely as one double (no leading/trailing characters).
+/// Accepts decimal/scientific notation, "inf"/"nan" spellings, and
+/// hex-floats with an optional 0x/0X prefix — both the formats
+/// formatDoubleHex emits and the "%a" output of older cache files.
+/// Locale-independent (std::from_chars): a file written under a
+/// comma-decimal LC_NUMERIC parses identically everywhere.
+std::optional<double> parseDoubleToken(std::string_view s);
+
+/// Shortest exact hex-float representation of `v` ("0x1.8p+1"-style,
+/// round-trips bit-exactly through parseDoubleToken). Locale-independent
+/// (std::to_chars), unlike printf("%a") which honors LC_NUMERIC's radix
+/// character.
+std::string formatDoubleHex(double v);
 
 }  // namespace sna::str

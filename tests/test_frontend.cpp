@@ -1,0 +1,431 @@
+// Tests for the industry front end: Liberty / Verilog / SDC parsing
+// (fixture round-trips and error paths), NLDM-to-Thevenin binding and
+// math, SDC-seeded windows vs a hand-written windows file, front-end lint
+// rules (SNA-L6xx), and end-to-end fixture analysis bit-identical across
+// thread counts with NLDM-seeded characterization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "charlib/nldm_source.hpp"
+#include "core/frontend.hpp"
+#include "core/propagate.hpp"
+#include "core/sna.hpp"
+#include "parser/liberty_parser.hpp"
+#include "parser/sdc_parser.hpp"
+#include "parser/spef_parser.hpp"
+#include "parser/verilog_parser.hpp"
+#include "parser/windows_parser.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace sna;
+
+std::string fixture(const std::string& name) {
+    const std::string path =
+        std::string(SNA_SOURCE_DIR) + "/examples/fixtures/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+// ---------------------------------------------------------------- Liberty
+
+TEST(LibertyParser, ParsesMiniFixtureWithSiConversion) {
+    const auto lib = parser::parseLiberty(fixture("mini.lib"));
+    EXPECT_EQ(lib.name, "mini130");
+    EXPECT_DOUBLE_EQ(lib.timeScale, 1e-9);
+    EXPECT_DOUBLE_EQ(lib.capScale, 1e-12);
+    ASSERT_EQ(lib.cells.size(), 3u);
+
+    const auto* inv = lib.findCell("INV_X1");  // case-insensitive lookup
+    ASSERT_NE(inv, nullptr);
+    EXPECT_EQ(inv->name, "inv_x1");
+    ASSERT_EQ(inv->pins.size(), 2u);
+    const auto& a = inv->pins.at("a");
+    EXPECT_EQ(a.dir, parser::LibertyPinDir::input);
+    EXPECT_NEAR(a.capacitance, 0.0020e-12, 1e-20);  // pF -> F
+    const auto* y = inv->outputPin();
+    ASSERT_NE(y, nullptr);
+    EXPECT_EQ(y->name, "y");
+    EXPECT_EQ(y->function, "!A");
+
+    const auto* arc = inv->arcFrom("a");
+    ASSERT_NE(arc, nullptr);
+    EXPECT_TRUE(arc->complete());
+    // Template axes converted to SI: ns -> s, pF -> F.
+    ASSERT_EQ(arc->cellRise.xs().size(), 3u);
+    EXPECT_NEAR(arc->cellRise.xs()[0], 0.010e-9, 1e-22);
+    EXPECT_NEAR(arc->cellRise.ys()[0], 0.005e-12, 1e-25);
+    // Spot-check a value: cell_rise row 1 (0.030 ns slew) col 1 (0.030 pF).
+    EXPECT_NEAR(arc->cellRise.at(1, 1), 0.061e-9, 1e-21);
+}
+
+TEST(LibertyParser, RejectsMalformedInput) {
+    // Top-level group must be `library`.
+    EXPECT_THROW(parser::parseLiberty("cell (c) { }"), ParseError);
+    // Unbalanced braces.
+    EXPECT_THROW(parser::parseLiberty("library (l) { cell (c) {"),
+                 ParseError);
+    // Ragged table rows.
+    EXPECT_THROW(parser::parseLiberty(
+                     "library (l) {\n"
+                     "  lu_table_template (t) {\n"
+                     "    variable_1 : input_net_transition;\n"
+                     "    variable_2 : total_output_net_capacitance;\n"
+                     "    index_1 (\"0.01, 0.03\");\n"
+                     "    index_2 (\"0.01, 0.03\");\n"
+                     "  }\n"
+                     "  cell (c) {\n"
+                     "    pin (y) {\n"
+                     "      direction : output;\n"
+                     "      timing () {\n"
+                     "        related_pin : \"a\";\n"
+                     "        cell_rise (t) {\n"
+                     "          values (\"0.1, 0.2\", \"0.3\");\n"
+                     "        }\n"
+                     "      }\n"
+                     "    }\n"
+                     "  }\n"
+                     "}\n"),
+                 ParseError);
+}
+
+TEST(LibertyParser, ErrorsCarryLineNumbers) {
+    try {
+        parser::parseLiberty("library (l) {\n  cell (c) {\n    pin;\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_GT(e.line(), 0);
+    }
+}
+
+// ---------------------------------------------------------------- Verilog
+
+TEST(VerilogParser, ParsesMiniFixture) {
+    const auto m = parser::parseVerilog(fixture("mini.v"));
+    EXPECT_EQ(m.name, "signoff_demo");
+    EXPECT_EQ(m.ports.size(), 14u);
+    EXPECT_EQ(m.inputs.size(), 7u);
+    EXPECT_EQ(m.outputs.size(), 7u);
+    EXPECT_EQ(m.wires.size(), 8u);
+    ASSERT_EQ(m.instances.size(), 15u);
+    EXPECT_TRUE(m.isInput("in"));
+    EXPECT_FALSE(m.isInput("out"));
+
+    const auto& u1 = m.instances.front();
+    EXPECT_EQ(u1.cellName, "inv_x1");  // lower-cased
+    EXPECT_EQ(u1.name, "u_s1");
+    ASSERT_EQ(u1.pinNets.size(), 2u);
+    EXPECT_EQ(u1.pinNets.at("a"), "in");
+    EXPECT_EQ(u1.pinNets.at("y"), "vic1");
+}
+
+TEST(VerilogParser, RejectsUnsupportedConstructs) {
+    // Behavioral / continuous assignment.
+    EXPECT_THROW(parser::parseVerilog("module m (a);\n"
+                                      "  input a;\n"
+                                      "  assign b = a;\n"
+                                      "endmodule\n"),
+                 ParseError);
+    // Bus ranges.
+    EXPECT_THROW(parser::parseVerilog("module m (a);\n"
+                                      "  input [3:0] a;\n"
+                                      "endmodule\n"),
+                 ParseError);
+    // Positional pin connections.
+    EXPECT_THROW(parser::parseVerilog("module m (a, y);\n"
+                                      "  input a;\n  output y;\n"
+                                      "  INV_X1 u1 (a, y);\n"
+                                      "endmodule\n"),
+                 ParseError);
+    // Same pin connected twice.
+    EXPECT_THROW(parser::parseVerilog("module m (a, y);\n"
+                                      "  input a;\n  output y;\n"
+                                      "  INV_X1 u1 (.A(a), .A(y));\n"
+                                      "endmodule\n"),
+                 ParseError);
+    // Missing endmodule.
+    EXPECT_THROW(parser::parseVerilog("module m (a);\n  input a;\n"),
+                 ParseError);
+}
+
+// ---------------------------------------------------------------- SDC
+
+TEST(SdcParser, ParsesMiniFixture) {
+    const auto sdc = parser::parseSdc(fixture("mini.sdc"));
+    EXPECT_DOUBLE_EQ(sdc.timeScale, 1e-9);
+    ASSERT_EQ(sdc.clocks.size(), 1u);
+    EXPECT_EQ(sdc.clocks[0].name, "clk");
+    EXPECT_NEAR(sdc.clocks[0].period, 2.5e-9, 1e-21);
+    // One record per (statement, port): 2 for `in`, 6 per aggressor trio.
+    EXPECT_EQ(sdc.inputDelays.size(), 14u);
+    EXPECT_TRUE(sdc.outputDelays.empty());
+}
+
+TEST(SdcParser, InputWindowsMatchHandWrittenWindowsFile) {
+    // The acceptance seam: SDC-seeded windows must agree with what an STA
+    // export in the windows-file format supplies (same ports, same bounds;
+    // tolerance covers the ns-vs-ps unit conversion rounding).
+    const auto sdc = parser::parseSdc(fixture("mini.sdc"));
+    const auto fromSdc = sdc.toInputWindows();
+    const auto fromFile = parser::parseTimingWindows(fixture("mini.windows"));
+    ASSERT_EQ(fromSdc.size(), fromFile.size());
+    for (const auto& [net, w] : fromFile.all()) {
+        const auto* s = fromSdc.find(net);
+        ASSERT_NE(s, nullptr) << net;
+        EXPECT_NEAR(s->earliest, w.earliest, 1e-22) << net;
+        EXPECT_NEAR(s->latest, w.latest, 1e-22) << net;
+    }
+}
+
+TEST(SdcParser, MinMaxPairBecomesHull) {
+    const auto sdc = parser::parseSdc(
+        "set_input_delay -clock clk -min 0.2 [get_ports {a}]\n"
+        "set_input_delay -clock clk -max 0.9 [get_ports {a}]\n");
+    const auto w = sdc.toInputWindows();
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_NEAR(w.of("a").earliest, 0.2e-9, 1e-22);
+    EXPECT_NEAR(w.of("a").latest, 0.9e-9, 1e-22);
+}
+
+TEST(SdcParser, RejectsUnknownCommandsAndFlags) {
+    EXPECT_THROW(parser::parseSdc("set_false_path -from a -to b\n"),
+                 ParseError);
+    EXPECT_THROW(parser::parseSdc("create_clock -bogus 1\n"), ParseError);
+    EXPECT_THROW(parser::parseSdc("set_input_delay -clock clk\n"),
+                 ParseError);  // no value
+}
+
+// ---------------------------------------------------------------- NLDM
+
+TEST(NldmSource, BindsMiniFixtureCleanly) {
+    const auto liberty = parser::parseLiberty(fixture("mini.lib"));
+    const cell::CellLibrary lib(tech::tech130());
+    const charlib::NldmSource nldm(liberty, lib);
+    EXPECT_TRUE(nldm.issues().empty());
+    const std::vector<std::string> want = {"INV_X1", "INV_X2", "INV_X4"};
+    EXPECT_EQ(nldm.boundCells(), want);
+}
+
+TEST(NldmSource, TheveninMathMatchesTablesAtGridPoint) {
+    const auto liberty = parser::parseLiberty(fixture("mini.lib"));
+    const cell::CellLibrary lib(tech::tech130());
+    const charlib::NldmSource nldm(liberty, lib);
+
+    // Query exactly on the table grid (slew 0.030 ns, load 0.030 pF) so the
+    // interpolator returns the raw table entries.
+    const double slewIn = 30e-12, load = 30e-15;
+    const auto m = nldm.theveninFor("INV_X1", "a", true, load, slewIn);
+    ASSERT_TRUE(m.has_value());
+    const double d = 0.061e-9;   // cell_rise[1][1]
+    const double tr = 0.065e-9;  // rise_transition[1][1]
+    EXPECT_NEAR(m->slew, tr, 1e-21);
+    EXPECT_NEAR(m->delay, d + slewIn / 2 - tr / 2, 1e-21);
+    EXPECT_NEAR(m->rth, tr / (std::log(4.0) * load), 1e-3);
+    EXPECT_DOUBLE_EQ(m->vStart, 0.0);
+    EXPECT_DOUBLE_EQ(m->vEnd, lib.technology().vdd);
+
+    // Falling output reads the fall tables and swaps the rails.
+    const auto f = nldm.theveninFor("INV_X1", "a", false, load, slewIn);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_NEAR(f->slew, 0.056e-9, 1e-21);  // fall_transition[1][1]
+    EXPECT_DOUBLE_EQ(f->vStart, lib.technology().vdd);
+    EXPECT_DOUBLE_EQ(f->vEnd, 0.0);
+
+    EXPECT_FALSE(nldm.theveninFor("NAND2_X1", "a", true, load, slewIn));
+}
+
+TEST(NldmSource, ReportsUnboundAndMismatchedCells) {
+    const auto liberty = parser::parseLiberty(
+        "library (l) {\n"
+        "  cell (FOO_X9) { pin (a) { direction : input; } }\n"
+        "  cell (INV_X1) { pin (q) { direction : input; } }\n"
+        "}\n");
+    const cell::CellLibrary lib(tech::tech130());
+    const charlib::NldmSource nldm(liberty, lib);
+    using Kind = charlib::NldmSource::Issue::Kind;
+    bool sawUnbound = false, sawMismatch = false;
+    for (const auto& i : nldm.issues()) {
+        sawUnbound |= i.kind == Kind::unboundCell && i.cell == "foo_x9";
+        sawMismatch |= i.kind == Kind::pinMismatch && i.cell == "inv_x1";
+    }
+    EXPECT_TRUE(sawUnbound);
+    EXPECT_TRUE(sawMismatch);
+    EXPECT_TRUE(nldm.boundCells().empty());
+}
+
+TEST(NldmSource, SeedsCacheAtQueriedSpec) {
+    const auto liberty = parser::parseLiberty(fixture("mini.lib"));
+    const cell::CellLibrary lib(tech::tech130());
+    const charlib::NldmSource nldm(liberty, lib);
+    charlib::CharCache cache;
+    // 3 bound cells x 1 input pin x 2 directions.
+    EXPECT_EQ(core::seedNldmCharacterization(nldm, cache), 6u);
+    // Re-seeding finds every key present.
+    EXPECT_EQ(core::seedNldmCharacterization(nldm, cache), 0u);
+
+    charlib::TheveninSpec spec;
+    spec.cell = &lib.cell("INV_X1");
+    spec.input = "a";
+    spec.outputRising = true;
+    spec.loadCap = core::kPropagationLoadCap;
+    const auto before = cache.stats().theveninRuns;
+    const auto model = cache.thevenin(spec);
+    EXPECT_EQ(cache.stats().theveninRuns, before);  // served, not swept
+    EXPECT_EQ(cache.stats().theveninDiskHits, 1u);
+    const auto direct = nldm.theveninFor("INV_X1", "a", true, spec.loadCap,
+                                         spec.inputSlew);
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_EQ(model->slew, direct->slew);
+    EXPECT_EQ(model->delay, direct->delay);
+}
+
+// ---------------------------------------------------------------- frontend
+
+TEST(FrontEnd, BuildDesignResolvesCanonicalCells) {
+    const auto module = parser::parseVerilog(fixture("mini.v"));
+    const cell::CellLibrary lib(tech::tech130());
+    const auto design = core::buildDesign(module, lib);
+    ASSERT_EQ(design.instances().size(), 15u);
+    const auto* drv = design.driverOf("vic1");
+    ASSERT_NE(drv, nullptr);
+    EXPECT_EQ(drv->name, "u_s1");
+    EXPECT_EQ(drv->cellName, "INV_X1");  // library spelling, not netlist's
+}
+
+TEST(FrontEnd, BuildDesignRejectsBrokenNetlists) {
+    const cell::CellLibrary lib(tech::tech130());
+    EXPECT_THROW(core::buildDesign(
+                     parser::parseVerilog("module m (a, y);\n"
+                                          "  input a;\n  output y;\n"
+                                          "  MYSTERY u1 (.A(a), .Y(y));\n"
+                                          "endmodule\n"),
+                     lib),
+                 ModelError);
+    EXPECT_THROW(core::buildDesign(
+                     parser::parseVerilog("module m (a, y);\n"
+                                          "  input a;\n  output y;\n"
+                                          "  INV_X1 u1 (.A(a), .Q(y));\n"
+                                          "endmodule\n"),
+                     lib),
+                 ModelError);
+    EXPECT_THROW(core::buildDesign(
+                     parser::parseVerilog("module m (a, y);\n"
+                                          "  input a;\n  output y;\n"
+                                          "  INV_X1 u1 (.Y(y));\n"
+                                          "endmodule\n"),
+                     lib),
+                 ModelError);
+}
+
+TEST(FrontEnd, LintFlagsBindingProblems) {
+    const auto liberty = parser::parseLiberty(
+        "library (l) {\n"
+        "  cell (FOO_X9) { pin (a) { direction : input; } }\n"
+        "}\n");
+    const auto module =
+        parser::parseVerilog("module m (a, y);\n"
+                             "  input a;\n  output y;\n"
+                             "  MYSTERY u1 (.A(a), .Y(y));\n"
+                             "  INV_X1 u2 (.A(a), .Q(y));\n"
+                             "endmodule\n");
+    const auto sdc = parser::parseSdc(
+        "set_input_delay -clock clk -min 0 [get_ports {a nosuchport}]\n");
+    const cell::CellLibrary lib(tech::tech130());
+    const charlib::NldmSource nldm(liberty, lib);
+    lint::LintReport report;
+    core::lintFrontEnd(nldm, module, lib, &sdc, report);
+
+    auto has = [&](const std::string& rule, const std::string& object) {
+        for (const auto& d : report.diagnostics) {
+            if (d.rule == rule && d.object == object) return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(has("SNA-L601", "foo_x9"));   // .lib cell binds nowhere
+    EXPECT_TRUE(has("SNA-L611", "u1"));       // undefined cell
+    EXPECT_TRUE(has("SNA-L612", "u2:q"));     // unknown pin
+    EXPECT_TRUE(has("SNA-L615", "nosuchport"));
+    EXPECT_FALSE(has("SNA-L615", "a"));
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(FrontEnd, MiniFixtureLintsClean) {
+    const auto liberty = parser::parseLiberty(fixture("mini.lib"));
+    const auto module = parser::parseVerilog(fixture("mini.v"));
+    const auto sdc = parser::parseSdc(fixture("mini.sdc"));
+    const cell::CellLibrary lib(tech::tech130());
+    const charlib::NldmSource nldm(liberty, lib);
+    lint::LintReport report;
+    core::lintFrontEnd(nldm, module, lib, &sdc, report);
+    EXPECT_TRUE(report.diagnostics.empty()) << report.summary();
+}
+
+// ------------------------------------------------------------- end to end
+
+void expectSameReports(const std::vector<core::NetNoiseReport>& a,
+                       const std::vector<core::NetNoiseReport>& b,
+                       const std::string& label) {
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].net, b[i].net) << label;
+        EXPECT_EQ(a[i].aggressorNets, b[i].aggressorNets)
+            << label << " " << a[i].net;
+        // Bit-identical, not merely close.
+        EXPECT_EQ(a[i].cluster.margin, b[i].cluster.margin)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].cluster.worst.metrics.peak,
+                  b[i].cluster.worst.metrics.peak)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].cluster.fails, b[i].cluster.fails)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].propagated.height, b[i].propagated.height)
+            << label << " " << a[i].net;
+        EXPECT_EQ(a[i].windows.windowedMargin, b[i].windows.windowedMargin)
+            << label << " " << a[i].net;
+    }
+}
+
+TEST(FrontEnd, FixtureAnalysisBitIdenticalAcrossThreads) {
+    const auto liberty = parser::parseLiberty(fixture("mini.lib"));
+    const auto module = parser::parseVerilog(fixture("mini.v"));
+    const auto sdc = parser::parseSdc(fixture("mini.sdc"));
+    const auto spef = parser::parseSpef(fixture("mini.spef"));
+    const cell::CellLibrary lib(tech::tech130());
+    const charlib::NldmSource nldm(liberty, lib);
+    const auto design = core::buildDesign(module, lib);
+    const auto windows = sdc.toInputWindows();
+
+    std::vector<core::NetNoiseReport> baseline;
+    for (const int threads : {1, 4, 8}) {
+        charlib::CharCache cache;
+        ASSERT_GT(core::seedNldmCharacterization(nldm, cache), 0u);
+        core::DesignNoiseOptions opt;
+        opt.propagate = true;
+        opt.windows = &windows;
+        opt.cache = &cache;
+        opt.threads = threads;
+        opt.maxAggressors = 2;
+        opt.report.searchAlignment = false;
+        opt.report.macromodel.loadCurveGrid = 9;
+        auto reports = core::analyzeDesign(design, spef, opt);
+        ASSERT_FALSE(reports.empty());
+        // The propagation wavefront consumed the NLDM-seeded thevenins.
+        EXPECT_GT(cache.stats().theveninDiskHits, 0u)
+            << "threads=" << threads;
+        if (threads == 1) {
+            baseline = std::move(reports);
+        } else {
+            expectSameReports(baseline, reports,
+                              "threads=" + std::to_string(threads));
+        }
+    }
+}
+
+}  // namespace
