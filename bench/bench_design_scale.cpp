@@ -252,6 +252,11 @@ struct Row {
     std::size_t schedSteals = 0;
     std::size_t schedMaxReady = 0;
     std::vector<double> schedBusy;  ///< per-worker busy fraction
+    /// Resilience counters from the same run: both must be zero on the
+    /// bench's happy path (no faults injected, no deadline set) — the CI
+    /// smoke check asserts exactly that.
+    std::size_t quarantinedTasks = 0;
+    bool cancelled = false;
     /// Task-graph vs level-barrier wavefront at the max thread count; the
     /// scheduler's determinism contract makes this exactly 0.
     double barrierMarginDiff = 0.0;
@@ -491,6 +496,9 @@ int main(int argc, char** argv) {
                 row.schedSteals = sched.steals;
                 row.schedMaxReady = sched.maxReadyDepth;
                 row.schedBusy = sched.busyFraction;
+                row.quarantinedTasks =
+                    sched.quarantinedTasks + sched.degradedTasks;
+                row.cancelled = sched.cancelled;
             }
         }
         popt.schedulerStats = nullptr;
@@ -800,6 +808,7 @@ int main(int argc, char** argv) {
             "\"scheduler_tasks\": %zu, \"scheduler_steals\": %zu, "
             "\"scheduler_max_ready_depth\": %zu, "
             "\"scheduler_busy_fraction\": [%s], "
+            "\"quarantined_tasks\": %zu, \"cancelled\": %s, "
             "\"propagation_runs\": %zu, \"max_margin_drop\": %.4f, "
             "\"combined_only_fails\": %zu, \"windowed_t1_sec\": %.4f, "
             "\"window_excluded_aggressors\": %zu, "
@@ -821,6 +830,7 @@ int main(int argc, char** argv) {
             r.lintErrors, r.lintWarnings, r.lintInfos, r.prop1Sec,
             r.prop4Sec, r.propMarginDiff, r.barrierMarginDiff, r.schedTasks,
             r.schedSteals, r.schedMaxReady, busyJson.str().c_str(),
+            r.quarantinedTasks, r.cancelled ? "true" : "false",
             r.propagationRuns, r.maxMarginDrop, r.combinedOnlyFails,
             r.windowed1Sec, r.windowExcludedAggressors,
             r.windowDroppedIncoming, r.worstUnconstrainedMargin,

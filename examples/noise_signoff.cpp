@@ -39,11 +39,22 @@
 // --lint runs the design checker (lint/lint.hpp) before the analysis and
 // prints every diagnostic; --lint=strict refuses to analyze a design with
 // unwaived errors. --waivers FILE suppresses known-benign findings by
-// "RULE [OBJECT]" lines; waivers that match nothing are reported. Exit
-// codes: 0 clean (waived findings and warnings included), 1 usage or I/O
-// error, 2 unwaived lint (or front-end binding) errors.
+// "RULE [OBJECT]" lines; waivers that match nothing are reported.
+//
+// Resilience flags: --deadline SEC arms a wall-clock budget — an expired
+// run still prints every completed report, then exits 3; --on-net-failure
+// MODE (fail-fast | quarantine | passthrough) picks what a per-net solver
+// failure does to the rest of the run (see core/sna.hpp's NetFailurePolicy);
+// --cache-strict turns cache-file problems (unreadable on load, unwritable
+// on save) from warnings into a nonzero exit.
+//
+// Exit codes: 0 clean (waived findings and warnings included), 1 usage,
+// I/O, or cache error, 2 unwaived lint (or front-end binding) errors,
+// 3 deadline expired / cancelled (partial results printed), 4 per-net
+// solver failures (quarantined/degraded cones printed).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -152,9 +163,40 @@ int main(int argc, char** argv) {
     std::string waiversPath;
     std::string libPath, verilogPath, sdcPath, spefPath;
     lint::Mode lintMode = lint::Mode::off;
+    bool cacheStrict = false;
+    double deadlineSec = 0.0;
+    core::NetFailurePolicy onNetFailure = core::NetFailurePolicy::failFast;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
             cachePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--cache-strict") == 0) {
+            cacheStrict = true;
+        } else if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            deadlineSec = std::strtod(argv[++i], &end);
+            if (end == nullptr || *end != '\0' || deadlineSec <= 0.0) {
+                std::fprintf(stderr,
+                             "--deadline needs a positive number of "
+                             "seconds, got '%s'\n",
+                             argv[i]);
+                return 1;
+            }
+        } else if (std::strcmp(argv[i], "--on-net-failure") == 0 &&
+                   i + 1 < argc) {
+            const char* mode = argv[++i];
+            if (std::strcmp(mode, "fail-fast") == 0) {
+                onNetFailure = core::NetFailurePolicy::failFast;
+            } else if (std::strcmp(mode, "quarantine") == 0) {
+                onNetFailure = core::NetFailurePolicy::quarantineCone;
+            } else if (std::strcmp(mode, "passthrough") == 0) {
+                onNetFailure = core::NetFailurePolicy::degradeToPassthrough;
+            } else {
+                std::fprintf(stderr,
+                             "--on-net-failure wants fail-fast, quarantine, "
+                             "or passthrough, got '%s'\n",
+                             mode);
+                return 1;
+            }
         } else if (std::strcmp(argv[i], "--lint") == 0) {
             lintMode = lint::Mode::warn;
         } else if (std::strcmp(argv[i], "--lint=strict") == 0) {
@@ -171,8 +213,11 @@ int main(int argc, char** argv) {
             spefPath = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--cache FILE] [--lint[=strict]] "
-                         "[--waivers FILE] [--lib FILE --verilog FILE "
+                         "usage: %s [--cache FILE] [--cache-strict] "
+                         "[--deadline SEC] [--on-net-failure "
+                         "fail-fast|quarantine|passthrough] "
+                         "[--lint[=strict]] [--waivers FILE] "
+                         "[--lib FILE --verilog FILE "
                          "[--sdc FILE] [--spef FILE]]\n",
                          argv[0]);
             return 1;
@@ -206,10 +251,35 @@ int main(int argc, char** argv) {
 
     charlib::CharCache cache;
     if (!cachePath.empty()) {
+        const bool exists = static_cast<bool>(std::ifstream(cachePath));
         const auto loaded = cache.load(cachePath);
+        if (exists && !loaded.ok && loaded.entries == 0) {
+            // The file is there but nothing in it could be trusted — a
+            // header mismatch, unreadable bytes, or wholesale corruption.
+            // Starting cold silently would look like a cache regression, so
+            // fail loud: the user either points at the right file or
+            // deletes the broken one.
+            std::fprintf(stderr,
+                         "cache '%s' exists but is unreadable (%s); "
+                         "delete it or pass a different --cache path\n",
+                         cachePath.c_str(), loaded.error.c_str());
+            return 1;
+        }
         if (loaded.entries > 0) {
-            std::printf("warm-started cache from '%s': %zu entries\n",
+            std::printf("warm-started cache from '%s': %zu entries",
                         cachePath.c_str(), loaded.entries);
+            if (loaded.corrupt > 0) {
+                std::printf(" (%zu corrupt records dropped)",
+                            loaded.corrupt);
+            }
+            std::printf("\n");
+            if ((loaded.corrupt > 0 || !loaded.ok) && cacheStrict) {
+                std::fprintf(stderr,
+                             "cache '%s' was damaged and --cache-strict is "
+                             "set\n",
+                             cachePath.c_str());
+                return 1;
+            }
         } else if (!loaded.ok) {
             std::printf("cache '%s' not loaded (%s); starting cold\n",
                         cachePath.c_str(), loaded.error.c_str());
@@ -357,12 +427,52 @@ int main(int argc, char** argv) {
     opt.cache = &cache;
     opt.lint = lintMode;
     opt.lintWaivers = waivers.empty() ? nullptr : &waivers;
+    opt.deadline = deadlineSec;
+    opt.onNetFailure = onNetFailure;
     lint::LintReport lintReport;
     opt.lintOut = &lintReport;
 
-    std::vector<core::NetNoiseReport> reports;
+    // Save is shared between the happy path and the partial-result exits:
+    // even an expired run's characterizations are complete, reusable models.
+    const auto saveCache = [&](void) -> bool {
+        if (cachePath.empty()) return true;
+        const auto saved = cache.save(cachePath);
+        if (saved.ok) {
+            std::printf("cache saved to '%s': %zu entries\n",
+                        cachePath.c_str(), saved.entries);
+            return true;
+        }
+        std::fprintf(stderr, "cache save failed: %s%s\n",
+                     saved.error.c_str(),
+                     cacheStrict ? "" : " (continuing; --cache-strict would "
+                                        "make this fatal)");
+        return false;
+    };
+    const auto printOutcome = [](const core::AnalysisOutcome& o) {
+        if (o.reason == core::TerminationReason::deadlineExpired) {
+            std::printf("analysis DEADLINE EXPIRED: %zu nets completed, "
+                        "%zu unsolved\n",
+                        o.reports.size(), o.unsolvedNets.size());
+        } else if (o.reason == core::TerminationReason::cancelled) {
+            std::printf("analysis CANCELLED: %zu nets completed, "
+                        "%zu unsolved\n",
+                        o.reports.size(), o.unsolvedNets.size());
+        }
+        if (!o.failedNets.empty() || !o.quarantinedNets.empty() ||
+            !o.degradedNets.empty()) {
+            std::printf("per-net failures: %zu failed, %zu quarantined, "
+                        "%zu degraded (pass-through)\n",
+                        o.failedNets.size(), o.quarantinedNets.size(),
+                        o.degradedNets.size());
+            for (const auto& n : o.failedNets) {
+                std::printf("  failed: %s\n", n.c_str());
+            }
+        }
+    };
+
+    core::AnalysisOutcome outcome;
     try {
-        reports = core::analyzeDesign(design, spef, opt);
+        outcome = core::analyzeDesignOutcome(design, spef, opt);
     } catch (const lint::LintError& e) {
         for (const auto& d : e.report().diagnostics) {
             std::fprintf(stderr, "lint: %s\n", d.str().c_str());
@@ -371,6 +481,7 @@ int main(int argc, char** argv) {
                      e.report().summary().c_str());
         return 2;
     }
+    const std::vector<core::NetNoiseReport>& reports = outcome.reports;
     bool lintFailed = false;
     if (lintMode != lint::Mode::off) {
         for (const auto& d : lintReport.diagnostics) {
@@ -393,20 +504,44 @@ int main(int argc, char** argv) {
     for (const auto& r : reports) {
         const auto& m = r.cluster.worst.metrics;
         const auto& p = r.propagated;
+        // Failed and quarantined nets carry stub metrics — their verdict
+        // cell names the condition instead of pretending a margin exists.
+        std::string verdict;
+        switch (r.status) {
+            case core::NetNoiseReport::Status::failed:
+                verdict = "ERROR";
+                break;
+            case core::NetNoiseReport::Status::quarantined:
+                verdict = "QUARANTINED";
+                break;
+            case core::NetNoiseReport::Status::degraded:
+                verdict = r.cluster.fails ? "FAIL (degraded)"
+                                          : "pass (degraded)";
+                break;
+            case core::NetNoiseReport::Status::ok:
+                verdict = r.cluster.fails
+                              ? (p.localFails ? "FAIL" : "FAIL (propagated)")
+                              : "pass";
+                break;
+        }
         table.addRow({r.net, design.driverOf(r.net)->cellName,
                       p.present ? p.fromNet : "-",
                       p.present ? util::Table::num(p.height, 3) : "-",
                       util::Table::num(m.peak, 3),
                       util::Table::num(r.cluster.nrcLimit, 3),
                       util::Table::num(p.localMargin, 3),
-                      util::Table::num(r.cluster.margin, 3),
-                      r.cluster.fails
-                          ? (p.localFails ? "FAIL" : "FAIL (propagated)")
-                          : "pass"});
+                      util::Table::num(r.cluster.margin, 3), verdict});
     }
     std::printf("\nStatic noise analysis report (%zu coupled nets "
                 "analyzed, propagation on)\n\n%s\n",
                 reports.size(), table.str().c_str());
+    printOutcome(outcome);
+    if (!outcome.complete()) {
+        // Deadline or cancellation: everything above is trustworthy, the
+        // rest never ran. The cache still holds finished characterizations.
+        saveCache();
+        return 3;
+    }
 
     // ---- run again with switching windows ----------------------------------
     // Demo mode hard-codes the windows an STA tool would export; front-end
@@ -419,7 +554,14 @@ int main(int argc, char** argv) {
         // windowed pass would just repeat every finding.
         wopt.lint = lint::Mode::off;
         wopt.lintOut = nullptr;
-        const auto windowed = core::analyzeDesign(design, spef, wopt);
+        const core::AnalysisOutcome woutcome =
+            core::analyzeDesignOutcome(design, spef, wopt);
+        const auto& windowed = woutcome.reports;
+        if (!woutcome.complete()) {
+            printOutcome(woutcome);
+            saveCache();
+            return 3;
+        }
 
         util::Table wtable({"Victim net", "Window (ps)",
                             "Unconstr margin (V)", "Windowed margin (V)",
@@ -454,17 +596,13 @@ int main(int argc, char** argv) {
                 "%zu NRCs, %zu propagation tables (%zu served from disk)\n",
                 s.loadCurveRuns, s.theveninRuns, s.nrcRuns,
                 s.propagationRuns, s.totalDiskHits());
-    if (!cachePath.empty()) {
-        const auto saved = cache.save(cachePath);
-        if (saved.ok) {
-            std::printf("cache saved to '%s': %zu entries\n",
-                        cachePath.c_str(), saved.entries);
-        } else {
-            std::fprintf(stderr, "cache save failed: %s\n",
-                         saved.error.c_str());
-        }
-    }
-    // Non-zero exit on unwaived lint errors, after the full report printed:
-    // warn mode analyzes anyway but still fails the signoff gate.
-    return lintFailed ? 2 : 0;
+    const bool saveOk = saveCache();
+    // Non-zero exit after the full report printed: unwaived lint errors
+    // (warn mode analyzes anyway but still fails the signoff gate) beat
+    // per-net solver failures beat a strict-mode cache-save problem.
+    if (lintFailed) return 2;
+    if (!outcome.failedNets.empty() || !outcome.quarantinedNets.empty())
+        return 4;
+    if (!saveOk && cacheStrict) return 1;
+    return 0;
 }

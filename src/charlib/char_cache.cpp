@@ -7,13 +7,19 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include "charlib/model_io.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
+#include "util/log.hpp"
 
 namespace sna::charlib {
 
@@ -103,10 +109,10 @@ std::string keyOf(const NrcSpec& s) {
     return os.str();
 }
 
-// ---- "snacache v1" file format -------------------------------------------
+// ---- "snacache v2" file format -------------------------------------------
 //
-//   snacache v1
-//   entry <kind> <payload-bytes> <escaped-key>
+//   snacache v2
+//   entry <kind> <payload-bytes> <crc32-hex8> <escaped-key>
 //   <payload-bytes of snamodel text>
 //   entry ...
 //   end <record-count>
@@ -115,9 +121,16 @@ std::string keyOf(const NrcSpec& s) {
 // (hex-float, exact round-trip), so the on-disk models inherit model_io's
 // versioning and tests. Keys are percent-escaped (they are slash-separated
 // hex fields plus free-form technology/cell names); payloads are carried
-// by byte count, so the loader never has to parse them to skip them.
+// by byte count, so the loader never has to parse them to skip them. The
+// CRC32 (reflected 0xEDB88320, same as zip/zlib) covers the unescaped key
+// followed by the raw payload bytes — both lengths are pinned by the record
+// line, so the digest is unambiguous. A record whose stored CRC disagrees
+// with the bytes read is individually rejected; everything after it (whose
+// framing is intact) still loads. Legacy "snacache v1" records are the same
+// minus the CRC field and load without per-record verification.
 
-constexpr const char* kCacheHeader = "snacache v1";
+constexpr const char* kCacheHeaderV2 = "snacache v2";
+constexpr const char* kCacheHeaderV1 = "snacache v1";
 
 constexpr const char* kKindLoadCurve = "loadcurve";
 constexpr const char* kKindThevenin = "thevenin";
@@ -156,6 +169,57 @@ bool unescapeKey(const std::string& escaped, std::string& out) {
     }
     return true;
 }
+
+std::uint32_t recordCrc(const std::string& key, const std::string& payload) {
+    std::uint32_t crc = util::crc32Init();
+    crc = util::crc32Update(crc, key.data(), key.size());
+    crc = util::crc32Update(crc, payload.data(), payload.size());
+    return util::crc32Final(crc);
+}
+
+// Advisory cross-process lock on `path + ".lock"`, acquired non-blocking
+// with bounded retry + exponential backoff (~1 s worst case). Purely
+// cooperative: it serializes well-behaved writers (and keeps a reader from
+// racing a writer's rename on filesystems without atomic rename semantics),
+// but holding it is never required for safety — the tmp + rename protocol
+// already guarantees readers only ever see complete snapshots. So failure
+// to acquire (lock held by a wedged process, or a filesystem without flock)
+// degrades to proceeding unlocked, with one warning.
+class CacheFileLock {
+public:
+    explicit CacheFileLock(const std::string& cachePath) {
+        const std::string lockPath = cachePath + ".lock";
+        fd_ = ::open(lockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (fd_ < 0) return;  // unwritable directory: proceed unlocked
+        int backoffMs = 1;
+        for (int attempt = 0; attempt < 24; ++attempt) {
+            if (::flock(fd_, LOCK_EX | LOCK_NB) == 0) {
+                held_ = true;
+                return;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(backoffMs));
+            backoffMs = std::min(backoffMs * 2, 128);
+        }
+        log::warn() << "cache lock " << lockPath
+                    << " busy past the retry budget; proceeding unlocked "
+                       "(atomic rename still protects readers)";
+        ::close(fd_);
+        fd_ = -1;
+    }
+    ~CacheFileLock() {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+    CacheFileLock(const CacheFileLock&) = delete;
+    CacheFileLock& operator=(const CacheFileLock&) = delete;
+    bool held() const { return held_; }
+
+private:
+    int fd_ = -1;
+    bool held_ = false;
+};
 
 }  // namespace
 
@@ -266,6 +330,7 @@ CharCache::Stats CharCache::stats() const {
     s.theveninOverflow = thevenins_.overflow;
     s.nrcOverflow = nrcs_.overflow;
     s.propagationOverflow = propagations_.overflow;
+    s.corruptRecords = corruptRecords_;
     return s;
 }
 
@@ -320,6 +385,45 @@ CharCache::PersistResult CharCache::save(const std::string& path) const {
                  [](const PropagationTable& v) { return savePropagation(v); });
     }
 
+    // Render the whole snapshot up front: the torn-write fault below and
+    // the single write() call both want the final byte stream in hand.
+    std::string text;
+    {
+        std::ostringstream os;
+        os << kCacheHeaderV2 << '\n';
+        char crcHex[9];
+        for (const Record& r : records) {
+            std::snprintf(crcHex, sizeof(crcHex), "%08x",
+                          recordCrc(r.key, r.payload));
+            os << "entry " << r.kind << ' ' << r.payload.size() << ' '
+               << crcHex << ' ' << escapeKey(r.key) << '\n'
+               << r.payload << '\n';
+        }
+        os << "end " << records.size() << '\n';
+        text = os.str();
+    }
+
+    // Fault sites (no-ops unless the injector is armed): an unopenable
+    // target, and a writer that died mid-write leaving a torn file AT the
+    // final path — the crash mode the per-record CRCs exist to absorb,
+    // unreachable through the tmp + rename path below.
+    if (util::FaultInjector::instance().shouldFail("charcache.save.open",
+                                                   path)) {
+        result.error = "injected fault: cannot open " + path + " for writing";
+        return result;
+    }
+    if (util::FaultInjector::instance().shouldFail("charcache.save.torn",
+                                                   path)) {
+        std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+        torn.write(text.data(),
+                   static_cast<std::streamsize>(text.size() / 2));
+        result.error = "injected fault: torn write to " + path;
+        return result;
+    }
+
+    // Serialize cooperating writers; safe to proceed unlocked on timeout.
+    const CacheFileLock lock(path);
+
     // Write a temporary sibling and rename: a concurrent load() from
     // another process sees either the old complete file or the new one.
     // The tmp name is unique per writer (pid + process-wide counter): two
@@ -336,13 +440,7 @@ CharCache::PersistResult CharCache::save(const std::string& path) const {
             result.error = "cannot open " + tmp + " for writing";
             return result;
         }
-        out << kCacheHeader << '\n';
-        for (const Record& r : records) {
-            out << "entry " << r.kind << ' ' << r.payload.size() << ' '
-                << escapeKey(r.key) << '\n'
-                << r.payload << '\n';
-        }
-        out << "end " << records.size() << '\n';
+        out.write(text.data(), static_cast<std::streamsize>(text.size()));
         out.flush();
         if (!out) {
             result.error = "write failed for " + tmp;
@@ -364,6 +462,16 @@ CharCache::PersistResult CharCache::load(const std::string& path) {
     PersistResult result;
     std::string text;
     {
+        // Hold the writers' lock while snapshotting the bytes so a reader
+        // on a filesystem without atomic rename never sees a mid-publish
+        // state; on timeout fall through (rename is atomic everywhere we
+        // actually run).
+        const CacheFileLock lock(path);
+        if (util::FaultInjector::instance().shouldFail("charcache.load.open",
+                                                       path)) {
+            result.error = "injected fault: cannot open " + path;
+            return result;
+        }
         std::ifstream in(path, std::ios::binary);
         if (!in) {
             result.error = "cannot open " + path;
@@ -385,11 +493,20 @@ CharCache::PersistResult CharCache::load(const std::string& path) {
     };
 
     std::string line;
-    if (!nextLine(line) || line != kCacheHeader) {
+    bool hasCrc = true;
+    if (!nextLine(line)) {
+        result.error = "empty cache file";
+        return result;
+    }
+    if (line == kCacheHeaderV2) {
+        hasCrc = true;
+    } else if (line == kCacheHeaderV1) {
+        hasCrc = false;  // legacy read-only compat: no per-record CRCs
+    } else {
         // Wrong or future version: load nothing — the format may have
         // changed incompatibly, and a silent partial read could alias keys.
         result.error = "bad cache header (want \"" +
-                       std::string(kCacheHeader) + "\")";
+                       std::string(kCacheHeaderV2) + "\")";
         return result;
     }
 
@@ -403,30 +520,46 @@ CharCache::PersistResult CharCache::load(const std::string& path) {
         }
         char kind[32] = {0};
         unsigned long long payloadBytes = 0;
+        unsigned crcStored = 0;
         int keyStart = -1;
-        if (std::sscanf(line.c_str(), "entry %31s %llu %n", kind,
-                        &payloadBytes, &keyStart) != 2 ||
-            keyStart < 0) {
+        if (hasCrc) {
+            if (std::sscanf(line.c_str(), "entry %31s %llu %8x %n", kind,
+                            &payloadBytes, &crcStored, &keyStart) != 3 ||
+                keyStart < 0) {
+                result.error = "malformed record line";
+                break;  // framing lost: keep the valid prefix
+            }
+        } else if (std::sscanf(line.c_str(), "entry %31s %llu %n", kind,
+                               &payloadBytes, &keyStart) != 2 ||
+                   keyStart < 0) {
             result.error = "malformed record line";
-            return result;
+            break;
         }
         std::string key;
         if (!unescapeKey(line.substr(static_cast<std::size_t>(keyStart)),
                          key)) {
             result.error = "malformed key escape";
-            return result;
+            break;
         }
         if (pos + payloadBytes + 1 > text.size()) {
             result.error = "truncated payload";  // keep the valid prefix
-            return result;
+            break;
         }
         const std::string payload = text.substr(pos, payloadBytes);
         pos += payloadBytes;
         if (text[pos] != '\n') {
             result.error = "missing payload terminator";
-            return result;
+            break;
         }
         ++pos;
+
+        // Self-healing: a record whose digest disagrees with the bytes read
+        // is individually rejected; its framing was intact, so every record
+        // after it still loads.
+        if (hasCrc && recordCrc(key, payload) != crcStored) {
+            ++result.corrupt;
+            continue;
+        }
 
         // A payload model_io rejects (corrupt hex, bad snamodel header) is
         // skipped, not fatal: the rest of the file is still good.
@@ -461,15 +594,34 @@ CharCache::PersistResult CharCache::load(const std::string& path) {
             ++result.skipped;
     }
 
-    if (!sawEnd) {
-        result.error = "truncated file (no end record)";
-        return result;
+    if (result.error.empty()) {
+        if (!sawEnd) {
+            result.error = "truncated file (no end record)";
+        } else if (declared !=
+                   result.entries + result.skipped + result.corrupt) {
+            result.error = "record count mismatch";
+        } else {
+            result.ok = true;
+        }
     }
-    if (declared != result.entries + result.skipped) {
-        result.error = "record count mismatch";
-        return result;
+
+    if (result.corrupt != 0) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        corruptRecords_ += result.corrupt;
     }
-    result.ok = true;
+    // One warning per file summarizing what the self-healing path dropped;
+    // per-record chatter would drown real diagnostics on a large cache.
+    if (result.corrupt != 0 || !result.ok) {
+        auto warn = log::warn();
+        warn << "cache " << path << ": ";
+        if (!result.ok) warn << result.error << "; ";
+        warn << "kept " << result.entries << " records";
+        if (result.corrupt != 0)
+            warn << ", dropped " << result.corrupt << " CRC-mismatched";
+        if (result.skipped != 0)
+            warn << ", skipped " << result.skipped
+                 << " (unreadable or already present)";
+    }
     return result;
 }
 
@@ -486,6 +638,7 @@ void CharCache::clear() {
     reset(thevenins_);
     reset(nrcs_);
     reset(propagations_);
+    corruptRecords_ = 0;
 }
 
 }  // namespace sna::charlib

@@ -15,13 +15,18 @@
 // shared future, so each (cell, level, grid) is characterized exactly once
 // per run no matter how many clusters need it.
 //
-// Persistence ("snacache v1"): save() serializes every ready entry through
-// the charlib/model_io round-trip formats; load() warm-starts a cache from
+// Persistence ("snacache v2"): save() serializes every ready entry through
+// the charlib/model_io round-trip formats, each record carrying its payload
+// length and a CRC32 over key + payload; load() warm-starts a cache from
 // disk, inserting only keys not already present (single-flight-safe even
 // while workers are characterizing). Keys embed the technology identity and
 // every grid parameter, so a stale or foreign file degrades to plain cache
-// misses — never to wrong models — and corrupt or truncated files fall
-// through to recomputation entry by entry.
+// misses — never to wrong models. The cache is self-healing: a record whose
+// CRC does not match (bit rot, torn write) is skipped and counted, a
+// truncated file keeps its CRC-valid prefix, and legacy v1 files (no CRCs)
+// still load. Cross-process coordination is an advisory flock on a ".lock"
+// sibling (non-blocking, bounded retry with backoff); writers that cannot
+// get it still publish safely via the atomic tmp + rename protocol.
 #pragma once
 
 #include <cstddef>
@@ -87,6 +92,10 @@ public:
         std::size_t theveninOverflow = 0;
         std::size_t nrcOverflow = 0;
         std::size_t propagationOverflow = 0;
+        /// Records load() rejected because their stored CRC32 did not match
+        /// the bytes read (bit rot, torn write). Cumulative across load()
+        /// calls; each load also reports its own count in PersistResult.
+        std::size_t corruptRecords = 0;
 
         std::size_t totalRuns() const {
             return loadCurveRuns + theveninRuns + nrcRuns + propagationRuns;
@@ -123,28 +132,36 @@ public:
     struct PersistResult {
         std::size_t entries = 0;  ///< entries written / newly inserted
         std::size_t skipped = 0;  ///< unreadable, unknown, or already-present
+        std::size_t corrupt = 0;  ///< CRC-mismatched records (load only)
         bool ok = false;          ///< header valid and file complete
         std::string error;        ///< first problem hit ("" when ok)
     };
 
     /// Serialize every ready entry (all four tables) to `path` in the
-    /// versioned "snacache v1" text format. In-flight entries are skipped.
-    /// Writes to a uniquely named temporary sibling (pid + counter) and
-    /// renames, so a concurrent load() from another process never observes
-    /// a half-written file and concurrent save()s to the same path never
-    /// share a tmp file: each rename publishes one complete snapshot, and
-    /// last-writer-wins is the only race. The format itself is
-    /// locale-independent (hex floats via std::to_chars), so a cache
-    /// written under any LC_NUMERIC loads anywhere.
+    /// versioned "snacache v2" text format (per-record CRC32 over key +
+    /// payload). In-flight entries are skipped. Writes to a uniquely named
+    /// temporary sibling (pid + counter) and renames, so a concurrent
+    /// load() from another process never observes a half-written file and
+    /// concurrent save()s to the same path never share a tmp file: each
+    /// rename publishes one complete snapshot, and last-writer-wins is the
+    /// only race. An advisory flock on `path + ".lock"` additionally
+    /// serializes cooperating writers; failing to get it within the bounded
+    /// retry budget degrades to the (still safe) unlocked protocol. The
+    /// format itself is locale-independent (hex floats via std::to_chars),
+    /// so a cache written under any LC_NUMERIC loads anywhere.
     PersistResult save(const std::string& path) const;
 
     /// Warm-start from a file written by save(): inserts every readable
     /// entry whose key is not already present (present keys — ready or
     /// in-flight — are skipped, preserving single-flight semantics under
     /// concurrent characterization). A version-string mismatch loads
-    /// nothing; a truncated file keeps its valid prefix; an entry with a
-    /// corrupt payload is skipped and loading continues. Keys from another
-    /// technology or grid simply never hit.
+    /// nothing; a truncated file keeps its valid prefix; an entry whose
+    /// CRC32 does not match the bytes read, or whose payload model_io
+    /// rejects, is skipped and loading continues (self-healing — counted in
+    /// PersistResult::corrupt / Stats::corruptRecords and summarized in one
+    /// util/log warning per file). Legacy "snacache v1" files (no CRCs)
+    /// still load read-only. Keys from another technology or grid simply
+    /// never hit.
     PersistResult load(const std::string& path);
 
     void clear();
@@ -177,6 +194,7 @@ private:
                         std::shared_ptr<const T> value);
 
     mutable std::mutex mu_;
+    std::size_t corruptRecords_ = 0;  ///< cumulative CRC rejects (see Stats)
     Table<la::Grid2d> loadCurves_;
     Table<TheveninModel> thevenins_{{}, 0, 0, 0, 0, 4096};
     Table<la::Grid1d> nrcs_;

@@ -116,4 +116,16 @@ std::vector<NetNoiseReport> analyzeDesignIncremental(
     const DesignDelta& delta, AnalysisSnapshot& snapshot,
     const DesignNoiseOptions& opt = {}, IncrementalStats* stats = nullptr);
 
+/// Resilient variant of analyzeDesignIncremental: the dirty-cone run
+/// inherits DesignNoiseOptions::{cancel, deadline, onNetFailure} and a
+/// cancelled/timed-out run returns the partial AnalysisOutcome instead of
+/// throwing. Because the retained index is patched in place before the
+/// solve, an incomplete or faulted run invalidates the snapshot
+/// (`snapshot.valid == false`) — the next iteration falls back to a full
+/// run rather than splicing reports that no longer match the index.
+AnalysisOutcome analyzeDesignIncrementalOutcome(
+    const Design& design, const parser::SpefFile& spef,
+    const DesignDelta& delta, AnalysisSnapshot& snapshot,
+    const DesignNoiseOptions& opt = {}, IncrementalStats* stats = nullptr);
+
 }  // namespace sna::core

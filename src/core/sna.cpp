@@ -15,7 +15,9 @@
 #include "core/incremental.hpp"
 #include "core/propagate.hpp"
 #include "lint/lint.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -250,6 +252,9 @@ NetNoiseReport analyzeVictim(
 /// snapshot whose fingerprint differs cannot splice: a clean net's retained
 /// report was computed under different knobs. Thread count, wavefront mode,
 /// and the lint mode are deliberately absent — they never change a value.
+/// So are cancel/deadline/onNetFailure: a snapshot is only ever captured
+/// from a complete, fault-free run, and such runs are bit-identical across
+/// all failure policies.
 std::string fingerprintOf(const DesignNoiseOptions& opt) {
     std::ostringstream os;
     const auto put = [&os](double v) {
@@ -274,6 +279,37 @@ std::string fingerprintOf(const DesignNoiseOptions& opt) {
     return os.str();
 }
 
+/// What one analyzeWithIndex run observed about its own completion, for
+/// the outcome-returning entry points. Always instantiated internally;
+/// `clean()` additionally gates snapshot capture (a partial or faulted run
+/// must never become splice input for a later incremental run).
+struct RunOutcome {
+    bool cancelled = false;
+    util::CancelToken::Reason reason = util::CancelToken::Reason::none;
+    std::vector<std::string> unsolved;
+    std::vector<std::string> failed;
+    std::vector<std::string> quarantined;
+    std::vector<std::string> degraded;
+
+    bool clean() const {
+        return !cancelled && failed.empty() && quarantined.empty() &&
+               degraded.empty();
+    }
+};
+
+/// The report a net gets when its solve never produced one: enough to keep
+/// the report list shape (one entry per victim, SPEF order) while making
+/// the missing numbers impossible to mistake for a verdict.
+NetNoiseReport failureStub(const std::string& net,
+                           NetNoiseReport::Status status,
+                           const char* what = nullptr) {
+    NetNoiseReport r;
+    r.net = net;
+    r.status = status;
+    if (what != nullptr) r.error = what;
+    return r;
+}
+
 /// Splice inputs for one incremental run (analyzeWithIndex `inc` param):
 /// the prior snapshot to retain clean results from, the dirty net set to
 /// re-solve, and the counters to fill. All borrowed, never null.
@@ -294,7 +330,8 @@ std::vector<NetNoiseReport> analyzeWithIndex(
     const Design& design, const parser::SpefFile& spef,
     const DesignNoiseOptions& opt, const DesignIndex& index,
     const std::unordered_map<std::string, TimingWindow>* windowsPre,
-    const IncrementalContext* inc, AnalysisSnapshot* capture) {
+    const IncrementalContext* inc, AnalysisSnapshot* capture,
+    RunOutcome* out) {
     const cell::CellLibrary& lib = design.library();
     charlib::CharCache runCache;
     charlib::CharCache* cache = opt.cache ? opt.cache : &runCache;
@@ -371,6 +408,22 @@ std::vector<NetNoiseReport> analyzeWithIndex(
         };
 
     std::vector<NetNoiseReport> reports(work.size());
+    /// Victim slot i holds a final value (solved, stubbed, or spliced).
+    /// Only consulted on a cancelled run, where unfinished slots must be
+    /// dropped rather than returned default-constructed.
+    std::vector<char> victimDone(work.size(), 0);
+
+    // Run-local cancellation: the caller's token (if any) chains under a
+    // token that also carries the run's deadline, so both compose. With
+    // neither set `cancel` stays null and every solve path is exactly the
+    // historical zero-overhead one.
+    util::CancelToken runToken(opt.cancel);
+    const util::CancelToken* cancel = nullptr;
+    if (opt.cancel != nullptr || opt.deadline > 0.0) {
+        runToken.setDeadlineAfter(opt.deadline);
+        cancel = &runToken;
+    }
+    const NetFailurePolicy policy = opt.onNetFailure;
 
     // One pool per analyzeDesign call, shared by every sweep below: the old
     // per-level parallelFor constructed and joined a fresh ThreadPool at
@@ -396,15 +449,54 @@ std::vector<NetNoiseReport> analyzeWithIndex(
                 if (it == inc->prior->victimReports.end()) continue;
                 reports[i] = it->second;
                 solveSlot[i] = 0;
+                victimDone[i] = 1;
             }
         }
-        util::parallelFor(pool.get(), static_cast<int>(work.size()),
-                          [&](int i) {
-                              if (solveSlot[static_cast<std::size_t>(i)]) {
-                                  reports[i] =
-                                      solveVictim(work[i], {}, nullptr);
-                              }
-                          });
+        util::parallelFor(
+            pool.get(), static_cast<int>(work.size()),
+            [&](int i) {
+                if (!solveSlot[static_cast<std::size_t>(i)]) return;
+                const std::string& net = *work[i].net;
+                if (policy == NetFailurePolicy::failFast) {
+                    SNA_FAULT_POINT("core.solve_net", net);
+                    reports[i] = solveVictim(work[i], {}, nullptr);
+                } else {
+                    // Independent victims: no cone to quarantine, so both
+                    // non-failFast policies reduce to "capture and go on".
+                    try {
+                        SNA_FAULT_POINT("core.solve_net", net);
+                        reports[i] = solveVictim(work[i], {}, nullptr);
+                    } catch (const util::CancelledError&) {
+                        throw;
+                    } catch (const std::exception& e) {
+                        reports[i] = failureStub(
+                            net, NetNoiseReport::Status::failed, e.what());
+                    }
+                }
+                victimDone[static_cast<std::size_t>(i)] = 1;
+            },
+            cancel);
+        bool runCancelled = false;
+        for (const char done : victimDone) {
+            if (!done) {
+                runCancelled = true;
+                break;
+            }
+        }
+        if (out != nullptr) {
+            out->cancelled = runCancelled;
+            if (runCancelled && cancel != nullptr) {
+                out->reason = cancel->reason();
+            }
+            for (std::size_t i = 0; i < work.size(); ++i) {
+                if (!victimDone[i]) {
+                    out->unsolved.push_back(*work[i].net);
+                } else if (reports[i].status ==
+                           NetNoiseReport::Status::failed) {
+                    out->failed.push_back(*work[i].net);
+                }
+            }
+        }
         if (inc != nullptr) {
             inc->stats->totalTasks = work.size();
             for (const char solve : solveSlot) {
@@ -416,7 +508,8 @@ std::vector<NetNoiseReport> analyzeWithIndex(
             }
             inc->stats->dirtyTasks = inc->stats->solvedVictimReports;
         }
-        if (capture != nullptr) {
+        if (capture != nullptr && !runCancelled &&
+            (out == nullptr || out->failed.empty())) {
             capture->victimReports.clear();
             capture->quietReports.clear();
             capture->surviving.clear();
@@ -424,6 +517,13 @@ std::vector<NetNoiseReport> analyzeWithIndex(
             for (std::size_t i = 0; i < work.size(); ++i) {
                 capture->victimReports.emplace(*work[i].net, reports[i]);
             }
+        }
+        if (runCancelled) {
+            std::vector<NetNoiseReport> kept;
+            for (std::size_t i = 0; i < work.size(); ++i) {
+                if (victimDone[i]) kept.push_back(std::move(reports[i]));
+            }
+            return kept;
         }
         return reports;
     }
@@ -470,6 +570,16 @@ std::vector<NetNoiseReport> analyzeWithIndex(
         static_cast<std::size_t>(numNets));
     std::vector<std::optional<NetNoiseReport>> quietReports(
         static_cast<std::size_t>(numNets));
+    // Per-task resilience state, slot-addressed like every other per-net
+    // output: written only by the net's own task, read only by tasks
+    // downstream over scheduled fanin edges (after their dependency count
+    // reached zero), so the quarantine propagation is race-free.
+    enum class TaskState : char { ok, failed, quarantined, degraded };
+    std::vector<TaskState> taskState(static_cast<std::size_t>(numNets),
+                                     TaskState::ok);
+    // Task ran to a decision (solved, stubbed, quarantined, or spliced).
+    // A zero after the run means cancellation skipped it.
+    std::vector<char> taskDone(static_cast<std::size_t>(numNets), 0);
 
     // Incremental splice: every clean net's slots — surviving front, quiet
     // report, victim report — are pre-filled from the snapshot before any
@@ -481,6 +591,7 @@ std::vector<NetNoiseReport> analyzeWithIndex(
             const std::string& net = tg.nets[static_cast<std::size_t>(id)];
             if (inc->dirty->count(net) != 0) continue;
             dirtyMask[static_cast<std::size_t>(id)] = 0;
+            taskDone[static_cast<std::size_t>(id)] = 1;
             if (const auto it = inc->prior->surviving.find(net);
                 it != inc->prior->surviving.end()) {
                 surviving[static_cast<std::size_t>(id)] = it->second;
@@ -498,6 +609,7 @@ std::vector<NetNoiseReport> analyzeWithIndex(
                 const auto it = inc->prior->victimReports.find(net);
                 if (it != inc->prior->victimReports.end()) {
                     reports[i] = it->second;
+                    victimDone[i] = 1;
                     ++inc->stats->reusedVictimReports;
                     continue;
                 }
@@ -506,6 +618,7 @@ std::vector<NetNoiseReport> analyzeWithIndex(
                 // a wrong mask must degrade to extra work, never to an
                 // empty report slot.
                 dirtyMask[static_cast<std::size_t>(idIt->second)] = 1;
+                taskDone[static_cast<std::size_t>(idIt->second)] = 0;
             }
             ++inc->stats->solvedVictimReports;
         }
@@ -820,6 +933,108 @@ std::vector<NetNoiseReport> analyzeWithIndex(
         surviving[static_cast<std::size_t>(id)] = std::move(kept);
     };
 
+    // The task the scheduler actually runs: solveNet wrapped in the
+    // failure-quarantine policy. Under failFast the wrapper adds nothing
+    // but the injection site — exceptions propagate through the scheduler
+    // exactly as before, bit-identical behavior included.
+    const auto runTask = [&](int id) {
+        const std::string& net = tg.nets[static_cast<std::size_t>(id)];
+        int slot = -1;
+        if (const auto sit = slotOf.find(net); sit != slotOf.end()) {
+            slot = sit->second;
+        }
+        const auto markDone = [&] {
+            if (slot >= 0) victimDone[static_cast<std::size_t>(slot)] = 1;
+            taskDone[static_cast<std::size_t>(id)] = 1;
+        };
+        if (policy == NetFailurePolicy::failFast) {
+            SNA_FAULT_POINT("core.solve_net", net);
+            solveNet(id);
+            markDone();
+            return;
+        }
+        // Cone state over the scheduled fanin edges. Each fanin's state was
+        // committed before this task's dependency count reached zero.
+        const std::vector<int>& faninIds =
+            tg.faninIds[static_cast<std::size_t>(id)];
+        bool upstreamFault = false;
+        bool upstreamDegraded = false;
+        for (const int f : faninIds) {
+            const TaskState s = taskState[static_cast<std::size_t>(f)];
+            if (s == TaskState::failed || s == TaskState::quarantined) {
+                upstreamFault = true;
+            } else if (s == TaskState::degraded) {
+                upstreamDegraded = true;
+            }
+        }
+        if (policy == NetFailurePolicy::quarantineCone && upstreamFault) {
+            // Suppressed, not solved: empty surviving front (nothing
+            // propagates out of the cone), stub report for victims.
+            taskState[static_cast<std::size_t>(id)] = TaskState::quarantined;
+            if (slot >= 0) {
+                reports[static_cast<std::size_t>(slot)] = failureStub(
+                    net, NetNoiseReport::Status::quarantined);
+            }
+            markDone();
+            return;
+        }
+        try {
+            SNA_FAULT_POINT("core.solve_net", net);
+            solveNet(id);
+            if (upstreamFault || upstreamDegraded) {
+                // degradeToPassthrough: solved across a bridged failure —
+                // margins are real numbers but built on approximate inputs.
+                taskState[static_cast<std::size_t>(id)] = TaskState::degraded;
+                if (slot >= 0) {
+                    reports[static_cast<std::size_t>(slot)].status =
+                        NetNoiseReport::Status::degraded;
+                }
+                auto& quiet = quietReports[static_cast<std::size_t>(id)];
+                if (quiet.has_value()) {
+                    quiet->status = NetNoiseReport::Status::degraded;
+                }
+            }
+        } catch (const util::CancelledError&) {
+            throw;  // cancellation is never a per-net failure
+        } catch (const std::exception& e) {
+            taskState[static_cast<std::size_t>(id)] = TaskState::failed;
+            if (slot >= 0) {
+                reports[static_cast<std::size_t>(slot)] = failureStub(
+                    net, NetNoiseReport::Status::failed, e.what());
+            }
+            quietReports[static_cast<std::size_t>(id)].reset();
+            SurvivingSet pass;
+            if (policy == NetFailurePolicy::degradeToPassthrough) {
+                // Bridge the failed stage conservatively: its incoming
+                // glitches transfer downstream unattenuated.
+                const auto survivingOf =
+                    [&](const std::string& from) -> const SurvivingSet* {
+                    const auto it = tg.idOf.find(from);
+                    if (it == tg.idOf.end() ||
+                        !std::binary_search(faninIds.begin(), faninIds.end(),
+                                            it->second)) {
+                        return nullptr;
+                    }
+                    const SurvivingSet& s =
+                        surviving[static_cast<std::size_t>(it->second)];
+                    return s.empty() ? nullptr : &s;
+                };
+                for (const IncomingGlitch& in :
+                     selectIncoming(index, net, survivingOf)) {
+                    SurvivingGlitch sg;
+                    sg.height = in.height;
+                    sg.width = in.width;
+                    if (sg.height >= opt.propagateMinHeight &&
+                        sg.width > 0.0) {
+                        mergeSurviving(pass, sg);
+                    }
+                }
+            }
+            surviving[static_cast<std::size_t>(id)] = std::move(pass);
+        }
+        markDone();
+    };
+
     if (inc != nullptr) {
         // Incremental: only the dirty tasks are scheduled. Edges from a
         // clean fanin vanish (its slot is already filled); edges among
@@ -830,9 +1045,9 @@ std::vector<NetNoiseReport> analyzeWithIndex(
         util::SchedulerStats stats = util::runTaskGraph(
             sub.graph,
             [&](int s) {
-                solveNet(sub.fullId[static_cast<std::size_t>(s)]);
+                runTask(sub.fullId[static_cast<std::size_t>(s)]);
             },
-            pool.get());
+            pool.get(), cancel);
         inc->stats->totalTasks = static_cast<std::size_t>(numNets);
         inc->stats->dirtyTasks = sub.fullId.size();
         inc->stats->scheduler = stats;
@@ -845,25 +1060,82 @@ std::vector<NetNoiseReport> analyzeWithIndex(
         // contiguous id range [base, base + levelNets.size()).
         int base = 0;
         for (const auto& levelNets : index.levels().levels) {
+            if (cancel != nullptr && cancel->stopRequested()) break;
             const int len = static_cast<int>(levelNets.size());
             util::parallelFor(pool.get(), len,
-                              [&](int k) { solveNet(base + k); });
+                              [&](int k) { runTask(base + k); }, cancel);
             base += len;
         }
     } else {
         // Dependency-counted task graph: the whole ready frontier runs at
         // once; a net unlocks its fanouts the moment it publishes.
         util::SchedulerStats stats =
-            util::runTaskGraph(tg.graph, solveNet, pool.get());
+            util::runTaskGraph(tg.graph, runTask, pool.get(), cancel);
         if (opt.schedulerStats != nullptr) {
             *opt.schedulerStats = std::move(stats);
         }
     }
 
-    if (capture != nullptr) {
+    // ---- resilience accounting and partial-result assembly ---------------
+    bool runCancelled = false;
+    for (int id = 0; id < numNets; ++id) {
+        if (!taskDone[static_cast<std::size_t>(id)]) {
+            runCancelled = true;
+            break;
+        }
+    }
+    std::size_t failedCount = 0;
+    std::size_t quarantinedCount = 0;
+    std::size_t degradedCount = 0;
+    for (int id = 0; id < numNets; ++id) {
+        switch (taskState[static_cast<std::size_t>(id)]) {
+            case TaskState::failed: ++failedCount; break;
+            case TaskState::quarantined: ++quarantinedCount; break;
+            case TaskState::degraded: ++degradedCount; break;
+            case TaskState::ok: break;
+        }
+    }
+    const auto fillQuarantineStats = [&](util::SchedulerStats* s) {
+        if (s == nullptr) return;
+        s->failedTasks = failedCount;
+        s->quarantinedTasks = quarantinedCount;
+        s->degradedTasks = degradedCount;
+    };
+    fillQuarantineStats(opt.schedulerStats);
+    if (inc != nullptr) fillQuarantineStats(&inc->stats->scheduler);
+    if (out != nullptr) {
+        out->cancelled = runCancelled;
+        if (runCancelled && cancel != nullptr) out->reason = cancel->reason();
+        for (int id = 0; id < numNets; ++id) {
+            const std::string& net = tg.nets[static_cast<std::size_t>(id)];
+            if (!taskDone[static_cast<std::size_t>(id)]) {
+                // Only victim clusters are reported as unsolved: the
+                // invariant callers rely on is reports + unsolvedNets ==
+                // the victim set, and pass-through propagation tasks never
+                // produce a report in the first place.
+                if (slotOf.count(net) != 0) out->unsolved.push_back(net);
+                continue;
+            }
+            switch (taskState[static_cast<std::size_t>(id)]) {
+                case TaskState::failed: out->failed.push_back(net); break;
+                case TaskState::quarantined:
+                    out->quarantined.push_back(net);
+                    break;
+                case TaskState::degraded: out->degraded.push_back(net); break;
+                case TaskState::ok: break;
+            }
+        }
+    }
+    const bool runClean = !runCancelled && failedCount == 0 &&
+                          quarantinedCount == 0 && degradedCount == 0;
+
+    if (capture != nullptr && runClean) {
         // Refresh the retained per-net maps from this run's slots (on an
         // incremental run the clean entries were pre-filled above, so the
-        // rebuilt maps are complete either way).
+        // rebuilt maps are complete either way). Gated on a clean run: a
+        // cancelled run has unfilled slots and a faulted run has stub
+        // reports — neither may become splice input for a later
+        // incremental iteration.
         capture->victimReports.clear();
         capture->quietReports.clear();
         capture->surviving.clear();
@@ -885,7 +1157,18 @@ std::vector<NetNoiseReport> analyzeWithIndex(
     }
 
     // Propagated-only entries for quiet nets follow the SPEF-ordered victim
-    // reports, in level-then-name (== task id) order (deterministic).
+    // reports, in level-then-name (== task id) order (deterministic). On a
+    // cancelled run the unfinished victim slots are dropped first — every
+    // report returned is complete and bitwise-identical to the same net's
+    // report in an uncancelled run.
+    if (runCancelled) {
+        std::vector<NetNoiseReport> kept;
+        kept.reserve(reports.size());
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            if (victimDone[i]) kept.push_back(std::move(reports[i]));
+        }
+        reports = std::move(kept);
+    }
     for (int id = 0; id < numNets; ++id) {
         auto& pr = quietReports[static_cast<std::size_t>(id)];
         if (pr.has_value()) reports.push_back(std::move(*pr));
@@ -911,11 +1194,60 @@ void runLintGate(lint::LintReport& report, const DesignNoiseOptions& opt,
     }
 }
 
+/// Translate a run's observed completion into the public outcome type.
+void fillOutcome(AnalysisOutcome& outcome, RunOutcome& run) {
+    if (run.cancelled) {
+        outcome.reason =
+            run.reason == util::CancelToken::Reason::deadline
+                ? TerminationReason::deadlineExpired
+                : TerminationReason::cancelled;
+    }
+    outcome.unsolvedNets = std::move(run.unsolved);
+    const auto sorted = [](std::vector<std::string>& v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+        return std::move(v);
+    };
+    outcome.failedNets = sorted(run.failed);
+    outcome.quarantinedNets = sorted(run.quarantined);
+    outcome.degradedNets = sorted(run.degraded);
+}
+
+/// Post-run lint findings for the report gate (SNA-L7xx, resilience):
+/// emitted after the solve, so they can never gate a strict run — they
+/// exist to make a partial signoff impossible to mistake for a clean one
+/// in lint-consuming tooling.
+void appendResilienceLint(lint::LintReport& lr,
+                          const AnalysisOutcome& outcome) {
+    const auto add = [&lr](const char* rule, lint::Severity sev,
+                           const std::string& net, const char* message) {
+        lint::Diagnostic d;
+        d.rule = rule;
+        d.severity = sev;
+        d.object = net;
+        d.message = message;
+        lr.diagnostics.push_back(std::move(d));
+    };
+    for (const std::string& net : outcome.failedNets) {
+        add("SNA-L701", lint::Severity::warning, net,
+            "net solve failed; margins unavailable (see the report's "
+            "captured error)");
+    }
+    for (const std::string& net : outcome.quarantinedNets) {
+        add("SNA-L702", lint::Severity::warning, net,
+            "net quarantined downstream of a failed solve; never analyzed");
+    }
+    for (const std::string& net : outcome.degradedNets) {
+        add("SNA-L703", lint::Severity::info, net,
+            "net solved across a pass-through bridge; margins approximate");
+    }
+}
+
 }  // namespace
 
-std::vector<NetNoiseReport> analyzeDesign(const Design& design,
-                                          const parser::SpefFile& spef,
-                                          const DesignNoiseOptions& opt) {
+AnalysisOutcome analyzeDesignOutcome(const Design& design,
+                                     const parser::SpefFile& spef,
+                                     const DesignNoiseOptions& opt) {
     auto index = std::make_unique<DesignIndex>(
         design, spef, opt.propagate ? opt.windows : nullptr);
     if (opt.lint != lint::Mode::off) {
@@ -927,19 +1259,44 @@ std::vector<NetNoiseReport> analyzeDesign(const Design& design,
         runLintGate(lr, opt,
                     opt.snapshot != nullptr ? &opt.snapshot->lint : nullptr);
     }
-    std::vector<NetNoiseReport> reports = analyzeWithIndex(
-        design, spef, opt, *index, nullptr, nullptr, opt.snapshot);
+    RunOutcome run;
+    AnalysisOutcome outcome;
+    outcome.reports = analyzeWithIndex(design, spef, opt, *index, nullptr,
+                                       nullptr, opt.snapshot, &run);
     if (opt.snapshot != nullptr) {
-        opt.snapshot->design = &design;
-        opt.snapshot->instanceCount = design.instances().size();
-        opt.snapshot->fingerprint = fingerprintOf(opt);
-        opt.snapshot->index = std::move(index);
-        opt.snapshot->valid = true;
+        if (run.clean()) {
+            opt.snapshot->design = &design;
+            opt.snapshot->instanceCount = design.instances().size();
+            opt.snapshot->fingerprint = fingerprintOf(opt);
+            opt.snapshot->index = std::move(index);
+            opt.snapshot->valid = true;
+        } else {
+            // Partial or faulted run: nothing was captured (the per-net
+            // maps were left untouched) and the snapshot must not splice.
+            opt.snapshot->valid = false;
+        }
     }
-    return reports;
+    fillOutcome(outcome, run);
+    if (opt.lint != lint::Mode::off && opt.lintOut != nullptr) {
+        appendResilienceLint(*opt.lintOut, outcome);
+    }
+    return outcome;
 }
 
-std::vector<NetNoiseReport> analyzeDesignIncremental(
+std::vector<NetNoiseReport> analyzeDesign(const Design& design,
+                                          const parser::SpefFile& spef,
+                                          const DesignNoiseOptions& opt) {
+    AnalysisOutcome outcome = analyzeDesignOutcome(design, spef, opt);
+    if (!outcome.complete()) {
+        throw util::CancelledError(
+            outcome.reason == TerminationReason::deadlineExpired
+                ? "analysis deadline expired"
+                : "analysis cancelled");
+    }
+    return std::move(outcome.reports);
+}
+
+AnalysisOutcome analyzeDesignIncrementalOutcome(
     const Design& design, const parser::SpefFile& spef,
     const DesignDelta& delta, AnalysisSnapshot& snapshot,
     const DesignNoiseOptions& opt, IncrementalStats* statsOut) {
@@ -971,8 +1328,7 @@ std::vector<NetNoiseReport> analyzeDesignIncremental(
         st.indexRebuilt = true;
         DesignNoiseOptions full = opt;
         full.snapshot = &snapshot;
-        std::vector<NetNoiseReport> reports =
-            analyzeDesign(design, spef, full);
+        AnalysisOutcome outcome = analyzeDesignOutcome(design, spef, full);
         if (opt.lint != lint::Mode::off && opt.lintOut != nullptr) {
             // The full re-lint overwrote lintOut; the delta findings (all
             // waived here, or strict would have thrown above) still belong
@@ -981,12 +1337,20 @@ std::vector<NetNoiseReport> analyzeDesignIncremental(
                                             deltaReport.diagnostics.begin(),
                                             deltaReport.diagnostics.end());
         }
-        st.totalTasks = opt.propagate
-                            ? snapshot.index->taskGraph().nets.size()
-                            : snapshot.victimReports.size();
+        // A partial or faulted full run captured no snapshot
+        // (snapshot.index may even be null); the task counters then only
+        // know what was actually produced.
+        if (snapshot.valid && snapshot.index != nullptr) {
+            st.totalTasks = opt.propagate
+                                ? snapshot.index->taskGraph().nets.size()
+                                : snapshot.victimReports.size();
+            st.solvedVictimReports = snapshot.victimReports.size();
+        } else {
+            st.totalTasks = outcome.reports.size() + outcome.unsolvedNets.size();
+            st.solvedVictimReports = outcome.reports.size();
+        }
         st.dirtyTasks = st.totalTasks;
-        st.solvedVictimReports = snapshot.victimReports.size();
-        return reports;
+        return outcome;
     }
 
     DesignIndex& index = *snapshot.index;
@@ -1061,10 +1425,34 @@ std::vector<NetNoiseReport> analyzeDesignIncremental(
     ctx.prior = &snapshot;
     ctx.dirty = &dirty;
     ctx.stats = &st;
-    std::vector<NetNoiseReport> reports = analyzeWithIndex(
-        design, spef, run, index, windowsPre, &ctx, &snapshot);
-    snapshot.valid = true;
-    return reports;
+    RunOutcome ro;
+    AnalysisOutcome outcome;
+    outcome.reports = analyzeWithIndex(design, spef, run, index, windowsPre,
+                                       &ctx, &snapshot, &ro);
+    // The index was patched in place above; an incomplete or faulted run
+    // therefore poisons the snapshot — its retained reports no longer match
+    // the index state, so the next iteration must fall back to a full run.
+    snapshot.valid = ro.clean();
+    fillOutcome(outcome, ro);
+    if (opt.lint != lint::Mode::off && opt.lintOut != nullptr) {
+        appendResilienceLint(*opt.lintOut, outcome);
+    }
+    return outcome;
+}
+
+std::vector<NetNoiseReport> analyzeDesignIncremental(
+    const Design& design, const parser::SpefFile& spef,
+    const DesignDelta& delta, AnalysisSnapshot& snapshot,
+    const DesignNoiseOptions& opt, IncrementalStats* statsOut) {
+    AnalysisOutcome outcome = analyzeDesignIncrementalOutcome(
+        design, spef, delta, snapshot, opt, statsOut);
+    if (!outcome.complete()) {
+        throw util::CancelledError(
+            outcome.reason == TerminationReason::deadlineExpired
+                ? "analysis deadline expired"
+                : "analysis cancelled");
+    }
+    return std::move(outcome.reports);
 }
 
 std::vector<NetNoiseReport> analyzeDesignReference(

@@ -105,6 +105,15 @@ struct WindowNoise {
 };
 
 struct NetNoiseReport {
+    /// Per-net resilience verdict (DesignNoiseOptions::onNetFailure).
+    /// Anything other than `ok` means the numeric fields below must not be
+    /// trusted for signoff: `failed` nets threw during their solve (the
+    /// captured error is in `error`), `quarantined` nets sit downstream of
+    /// a failed net and were never solved, and `degraded` nets solved but
+    /// bridged an upstream failure with a pass-through front, so their
+    /// margins are approximate.
+    enum class Status { ok, failed, quarantined, degraded };
+
     std::string net;
     std::vector<std::string> aggressorNets;
     /// The governing verdict: combined propagated + coupled noise when an
@@ -118,6 +127,8 @@ struct NetNoiseReport {
     /// Surfaced here so the conflict is visible in sign-off instead of
     /// being dropped silently.
     std::vector<std::string> otherDrivers;
+    Status status = Status::ok;
+    std::string error;  ///< captured what() when status == failed
 };
 
 /// How the propagated-noise wavefront is scheduled. Either way the results
@@ -132,6 +143,24 @@ enum class WavefrontMode {
     /// The PR 2 per-level barrier (levels run in order, full join between
     /// levels). Kept as the validation baseline for the scheduler.
     levelBarrier,
+};
+
+/// What happens to a run when one net's solve throws
+/// (DesignNoiseOptions::onNetFailure).
+enum class NetFailurePolicy {
+    /// Today's behavior, bit-identical: the first exception aborts the
+    /// whole run (rethrown after the wavefront drains).
+    failFast,
+    /// The failing net's report is marked `failed` (error captured) and its
+    /// entire downstream cone is suppressed: every net reachable over
+    /// scheduled fanin edges is marked `quarantined` and never solves.
+    /// Nets outside the cone are bit-identical to a clean run.
+    quarantineCone,
+    /// The failing net's report is marked `failed`, but instead of
+    /// suppressing its cone the net degrades to a pass-through: its
+    /// incoming glitches transfer downstream unattenuated (conservative).
+    /// Downstream nets solve normally and are marked `degraded`.
+    degradeToPassthrough,
 };
 
 struct DesignNoiseOptions {
@@ -188,6 +217,56 @@ struct DesignNoiseOptions {
     /// When non-null and lint != off, receives the waiver-applied report
     /// (also filled before a strict-mode throw).
     lint::LintReport* lintOut = nullptr;
+    /// Cooperative cancellation: when non-null the run polls this token at
+    /// every task boundary and inside the SPICE transient loop, and
+    /// unwinds cleanly once it trips. analyzeDesignOutcome returns the
+    /// partial result; analyzeDesign throws util::CancelledError. Not
+    /// owned; may be tripped from any thread.
+    const util::CancelToken* cancel = nullptr;
+    /// Wall-clock budget in seconds (steady clock, measured from the start
+    /// of the solve phase); <= 0 means none. Internally arms a deadline on
+    /// a run-local token chained under `cancel`, so both compose.
+    double deadline = 0.0;
+    /// Per-net failure quarantine; see NetFailurePolicy. The default is
+    /// bit-identical to the historical all-or-nothing behavior.
+    NetFailurePolicy onNetFailure = NetFailurePolicy::failFast;
+};
+
+/// Why an analyzeDesignOutcome run stopped.
+enum class TerminationReason {
+    completed,        ///< every scheduled task ran
+    cancelled,        ///< CancelToken::cancel() observed mid-run
+    deadlineExpired,  ///< the deadline tripped mid-run
+};
+
+/// The structured result of a resilient run. On a completed run `reports`
+/// is exactly what analyzeDesign returns (plus per-report status marks
+/// under a non-failFast policy). On a cancelled/timed-out run it carries
+/// every report whose task completed — each bitwise-identical to the same
+/// net's report in an uncancelled run — and `unsolvedNets` lists the nets
+/// whose tasks never ran; nothing torn is ever returned, and the retained
+/// AnalysisSnapshot is only captured on full, fault-free completion.
+struct AnalysisOutcome {
+    std::vector<NetNoiseReport> reports;
+    TerminationReason reason = TerminationReason::completed;
+    /// Victim nets whose task did not complete before cancellation, in
+    /// deterministic task order (pass-through propagation tasks are an
+    /// implementation detail and are not listed). On any run,
+    /// reports.size() + unsolvedNets.size() equals the victim-cluster
+    /// count. Empty on a completed run.
+    std::vector<std::string> unsolvedNets;
+    /// Per-policy failure accounting (sorted, deduplicated): nets whose
+    /// solve threw, nets suppressed downstream of one, and nets that
+    /// solved across a pass-through bridge.
+    std::vector<std::string> failedNets;
+    std::vector<std::string> quarantinedNets;
+    std::vector<std::string> degradedNets;
+
+    bool complete() const { return reason == TerminationReason::completed; }
+    bool clean() const {
+        return complete() && failedNets.empty() && quarantinedNets.empty() &&
+               degradedNets.empty();
+    }
 };
 
 /// Analyze every SPEF net that has coupling capacitance and a driver and at
@@ -207,6 +286,17 @@ struct DesignNoiseOptions {
 std::vector<NetNoiseReport> analyzeDesign(const Design& design,
                                           const parser::SpefFile& spef,
                                           const DesignNoiseOptions& opt = {});
+
+/// The resilient entry point: same pipeline as analyzeDesign, but a
+/// cancelled or timed-out run returns a structured partial AnalysisOutcome
+/// instead of throwing, and per-net failures are handled per
+/// `opt.onNetFailure`. analyzeDesign is a thin wrapper that throws
+/// util::CancelledError when the outcome is incomplete. The snapshot (when
+/// requested) is captured only on full, fault-free completion — a partial
+/// or quarantined run leaves `opt.snapshot->valid == false`.
+AnalysisOutcome analyzeDesignOutcome(const Design& design,
+                                     const parser::SpefFile& spef,
+                                     const DesignNoiseOptions& opt = {});
 
 /// The pre-index brute-force sweep (linear instance scans per query, all-net
 /// cap scans per aggressor, full re-characterization per cluster, serial).

@@ -15,6 +15,8 @@
 //   SNA-L5xx  incremental-delta validity
 //   SNA-L6xx  industry front end (.lib / Verilog / SDC cross-checks,
 //             emitted by core/frontend.hpp's lintFrontEnd)
+//   SNA-L7xx  analysis resilience (failed / quarantined / degraded nets,
+//             appended after the solve by analyzeDesignOutcome)
 #pragma once
 
 #include <cstddef>

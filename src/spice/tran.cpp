@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -102,6 +103,11 @@ TranResult simulateTransient(const Circuit& circuit,
 
     TranStats stats;
     while (t < tstop - 1e-18) {
+        // Cooperative cancellation: one thread-local read per accepted or
+        // rejected step when no deadline is armed. Unwinds with
+        // CancelledError so a deadline can interrupt a solve mid-transient
+        // instead of waiting out the full timestep budget.
+        util::pollCancellation();
         if (stats.accepted + stats.rejected > options.maxSteps) {
             throw ConvergenceError("transient exceeded the step budget");
         }

@@ -1,0 +1,37 @@
+#include "util/cancel.hpp"
+
+namespace sna::util {
+
+namespace {
+
+thread_local const CancelToken* g_ambientToken = nullptr;
+
+std::string reasonText(CancelToken::Reason reason) {
+    return reason == CancelToken::Reason::deadline
+               ? "analysis deadline expired"
+               : "analysis cancelled";
+}
+
+}  // namespace
+
+void CancelToken::throwIfStopped() const {
+    if (stopRequested()) throw CancelledError(reasonText(reason()));
+}
+
+CancelScope::CancelScope(const CancelToken* token)
+    : previous_(g_ambientToken) {
+    g_ambientToken = token;
+}
+
+CancelScope::~CancelScope() { g_ambientToken = previous_; }
+
+const CancelToken* currentCancelToken() { return g_ambientToken; }
+
+void pollCancellation() {
+    const CancelToken* token = g_ambientToken;
+    if (token != nullptr && token->stopRequested()) {
+        throw CancelledError(reasonText(token->reason()));
+    }
+}
+
+}  // namespace sna::util

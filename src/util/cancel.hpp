@@ -1,0 +1,140 @@
+// Cooperative cancellation and deadlines for long-running analyses.
+//
+// A CancelToken is a tiny shared flag + optional deadline that a caller
+// hands to analyzeDesign (via DesignNoiseOptions::cancel) and may trip from
+// any thread; the engine polls it at task boundaries and inside the SPICE
+// transient loop and unwinds with CancelledError. Polling is cooperative —
+// nothing is interrupted mid-instruction — so a cancelled run always leaves
+// every already-published result intact (the wavefront's slot-addressed
+// writes make completed reports bitwise-identical to an uncancelled run).
+//
+// Deep engine loops (spice::simulateTransient) cannot reasonably take a
+// token parameter through every struct between analyzeDesign and the
+// timestep loop, so a thread-local ambient token is provided: the scheduler
+// installs the run's token with a CancelScope around each task body and the
+// inner loops call pollCancellation(), which is a no-op when no scope is
+// active.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace sna::util {
+
+/// Thrown when a run observes its CancelToken tripped (explicitly or by
+/// deadline). Derives from Error so generic catch sites keep working, but
+/// callers that care about partial results should catch it specifically.
+class CancelledError : public Error {
+public:
+    explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// Shared stop signal: an atomic flag plus an optional steady-clock
+/// deadline. Thread-safe; cheap to poll (one relaxed load on the fast
+/// path, a clock read only when a deadline is armed). Tokens may be
+/// chained: a child token reports stopped when its parent does, letting a
+/// per-request token nest under a server-wide shutdown token.
+class CancelToken {
+public:
+    enum class Reason { none, cancelled, deadline };
+
+    CancelToken() = default;
+    explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+    CancelToken(const CancelToken&) = delete;
+    CancelToken& operator=(const CancelToken&) = delete;
+
+    /// Trip the token. Idempotent; callable from any thread.
+    void cancel() {
+        bool expected = false;
+        if (flag_.compare_exchange_strong(expected, true)) {
+            reason_.store(static_cast<int>(Reason::cancelled),
+                          std::memory_order_relaxed);
+        }
+    }
+
+    /// Arm a deadline `seconds` from now (steady clock). Non-positive
+    /// values disarm. Replaces any previously armed deadline.
+    void setDeadlineAfter(double seconds) {
+        if (seconds <= 0.0) {
+            deadlineNs_.store(0, std::memory_order_relaxed);
+            return;
+        }
+        const auto now = std::chrono::steady_clock::now().time_since_epoch();
+        const std::int64_t nowNs =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+        const std::int64_t delta =
+            static_cast<std::int64_t>(seconds * 1e9);
+        deadlineNs_.store(nowNs + delta, std::memory_order_relaxed);
+    }
+
+    /// True once cancel() was called or the deadline passed. The deadline
+    /// check latches into the flag so later polls take the cheap path and
+    /// the reason is stable.
+    bool stopRequested() const {
+        if (flag_.load(std::memory_order_relaxed)) return true;
+        const std::int64_t dl = deadlineNs_.load(std::memory_order_relaxed);
+        if (dl != 0) {
+            const auto now =
+                std::chrono::steady_clock::now().time_since_epoch();
+            const std::int64_t nowNs =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+                    .count();
+            if (nowNs >= dl) {
+                bool expected = false;
+                if (flag_.compare_exchange_strong(expected, true)) {
+                    reason_.store(static_cast<int>(Reason::deadline),
+                                  std::memory_order_relaxed);
+                }
+                return true;
+            }
+        }
+        return parent_ != nullptr && parent_->stopRequested();
+    }
+
+    /// Why the token stopped; Reason::none while still live. A child that
+    /// stopped only via its parent reports the parent's reason.
+    Reason reason() const {
+        const auto own = static_cast<Reason>(
+            reason_.load(std::memory_order_relaxed));
+        if (own != Reason::none) return own;
+        return parent_ != nullptr ? parent_->reason() : Reason::none;
+    }
+
+    /// Throw CancelledError if stopped. For callers with a token in hand.
+    void throwIfStopped() const;
+
+private:
+    mutable std::atomic<bool> flag_{false};
+    mutable std::atomic<int> reason_{static_cast<int>(Reason::none)};
+    std::atomic<std::int64_t> deadlineNs_{0};  ///< 0 = no deadline
+    const CancelToken* parent_ = nullptr;
+};
+
+/// RAII installer of the calling thread's ambient token. The scheduler
+/// wraps each task body in one of these; nested scopes restore the outer
+/// token on destruction.
+class CancelScope {
+public:
+    explicit CancelScope(const CancelToken* token);
+    ~CancelScope();
+
+    CancelScope(const CancelScope&) = delete;
+    CancelScope& operator=(const CancelScope&) = delete;
+
+private:
+    const CancelToken* previous_;
+};
+
+/// The calling thread's ambient token, or nullptr outside any CancelScope.
+const CancelToken* currentCancelToken();
+
+/// Throw CancelledError if the ambient token (if any) has stopped. The
+/// deep-loop poll point: one thread-local read when no scope is active.
+void pollCancellation();
+
+}  // namespace sna::util

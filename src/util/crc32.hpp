@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for cache record
+// integrity. Table-driven byte-at-a-time implementation — the persistent
+// cache writes kilobytes per record, so throughput is irrelevant next to
+// the SPICE work the records memoize; what matters is a stable, portable
+// checksum that detects truncation and bit-rot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sna::util {
+
+/// Incremental update: feed buffers in sequence starting from crc32Init().
+std::uint32_t crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t size);
+
+inline constexpr std::uint32_t crc32Init() { return 0xFFFFFFFFu; }
+
+inline std::uint32_t crc32Final(std::uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t crc32(std::string_view data) {
+    return crc32Final(crc32Update(crc32Init(), data.data(), data.size()));
+}
+
+}  // namespace sna::util

@@ -1,0 +1,176 @@
+#include "util/fault_injection.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sna::util {
+
+namespace {
+
+struct Rule {
+    std::string site;
+    std::string detail;       ///< empty = match any detail
+    bool hasDetail = false;
+    double probability = 1.0;
+    std::uint64_t limit = 0;  ///< 0 = unlimited
+    std::uint64_t skipFirst = 0;
+    std::uint64_t seen = 0;   ///< eligible calls observed
+    std::uint64_t fired = 0;
+};
+
+double parseDouble(std::string_view text, std::string_view spec) {
+    try {
+        return std::stod(std::string(text));
+    } catch (const std::exception&) {
+        throw ParseError("bad fault-injection probability '" +
+                         std::string(text) + "' in spec '" +
+                         std::string(spec) + "'");
+    }
+}
+
+std::uint64_t parseCount(std::string_view text, std::string_view spec) {
+    try {
+        return static_cast<std::uint64_t>(std::stoull(std::string(text)));
+    } catch (const std::exception&) {
+        throw ParseError("bad fault-injection count '" + std::string(text) +
+                         "' in spec '" + std::string(spec) + "'");
+    }
+}
+
+Rule parseRule(std::string_view item, std::string_view spec) {
+    Rule rule;
+    // Split off the :probability[:limit[:skipFirst]] tail first.
+    std::vector<std::string_view> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t colon = item.find(':', start);
+        if (colon == std::string_view::npos) {
+            parts.push_back(item.substr(start));
+            break;
+        }
+        parts.push_back(item.substr(start, colon - start));
+        start = colon + 1;
+    }
+    if (parts.empty() || parts[0].empty() || parts.size() > 4) {
+        throw ParseError("bad fault-injection rule '" + std::string(item) +
+                         "' in spec '" + std::string(spec) + "'");
+    }
+    std::string_view head = parts[0];
+    const std::size_t at = head.find('@');
+    if (at != std::string_view::npos) {
+        rule.detail = std::string(head.substr(at + 1));
+        rule.hasDetail = true;
+        head = head.substr(0, at);
+    }
+    if (head.empty()) {
+        throw ParseError("empty fault-injection site in spec '" +
+                         std::string(spec) + "'");
+    }
+    rule.site = std::string(head);
+    if (parts.size() > 1) rule.probability = parseDouble(parts[1], spec);
+    if (parts.size() > 2) rule.limit = parseCount(parts[2], spec);
+    if (parts.size() > 3) rule.skipFirst = parseCount(parts[3], spec);
+    if (rule.probability < 0.0 || rule.probability > 1.0) {
+        throw ParseError("fault-injection probability out of [0,1] in spec '" +
+                         std::string(spec) + "'");
+    }
+    return rule;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+    std::atomic<bool> armed{false};
+    std::atomic<bool> envChecked{false};
+    mutable std::mutex mu;
+    std::vector<Rule> rules;
+    Rng rng;
+    std::uint64_t fires = 0;
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {}
+
+FaultInjector& FaultInjector::instance() {
+    // Leaked on purpose: fault points may sit in code that runs during
+    // static destruction (cache flushes); a never-destroyed singleton
+    // cannot be used after free.
+    static FaultInjector* injector = new FaultInjector();
+    return *injector;
+}
+
+void FaultInjector::arm(std::string_view spec, std::uint64_t seed) {
+    std::vector<Rule> rules;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::string_view item =
+            comma == std::string_view::npos
+                ? spec.substr(start)
+                : spec.substr(start, comma - start);
+        if (!item.empty()) rules.push_back(parseRule(item, spec));
+        if (comma == std::string_view::npos) break;
+        start = comma + 1;
+    }
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->rules = std::move(rules);
+    impl_->rng = Rng(seed);
+    impl_->fires = 0;
+    impl_->armed.store(!impl_->rules.empty(), std::memory_order_release);
+}
+
+bool FaultInjector::armFromEnv() {
+    const char* spec = std::getenv("SNA_FAULT_INJECT");
+    if (spec == nullptr || *spec == '\0') return false;
+    std::uint64_t seed = 0x5eed5eedULL;
+    if (const char* seedText = std::getenv("SNA_FAULT_SEED")) {
+        seed = parseCount(seedText, "SNA_FAULT_SEED");
+    }
+    arm(spec, seed);
+    return true;
+}
+
+void FaultInjector::disarm() {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->rules.clear();
+    impl_->fires = 0;
+    impl_->armed.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::shouldFail(std::string_view site,
+                               std::string_view detail) {
+    // One-time env probe so `SNA_FAULT_INJECT=... binary` works with no
+    // code-side arm() call. exchange() ensures exactly one thread probes.
+    if (!impl_->envChecked.exchange(true, std::memory_order_acq_rel)) {
+        armFromEnv();
+    }
+    if (!impl_->armed.load(std::memory_order_acquire)) return false;
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    for (Rule& rule : impl_->rules) {
+        if (rule.site != site) continue;
+        if (rule.hasDetail && rule.detail != detail) continue;
+        if (rule.limit != 0 && rule.fired >= rule.limit) continue;
+        if (rule.seen++ < rule.skipFirst) continue;
+        if (rule.probability < 1.0 && !impl_->rng.chance(rule.probability)) {
+            continue;
+        }
+        ++rule.fired;
+        ++impl_->fires;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t FaultInjector::fireCount() const {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->fires;
+}
+
+bool FaultInjector::armed() const {
+    return impl_->armed.load(std::memory_order_acquire);
+}
+
+}  // namespace sna::util

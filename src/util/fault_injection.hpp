@@ -1,0 +1,85 @@
+// Site-keyed fault injection for resilience testing.
+//
+// Production code marks the places where the real world can fail — cache
+// IO, scheduler task boundaries, solver entry — with SNA_FAULT_POINT or an
+// explicit shouldFail() query. When the injector is disarmed (the default,
+// and the only state production runs ever see) every site costs one
+// relaxed atomic load. Tests (or an operator, via SNA_FAULT_INJECT) arm
+// specific sites with a probability / fire budget, and the resilience
+// machinery — quarantine, cache self-healing, CLI exit codes — gets
+// exercised without contriving real disk or solver failures.
+//
+// Spec grammar (comma-separated list, also the SNA_FAULT_INJECT format):
+//     site[@detail][:probability[:limit[:skipFirst]]]
+// e.g. SNA_FAULT_INJECT="core.solve_net@n42,charcache.save.torn:0.5:1"
+//   - site       exact site key as passed to shouldFail()
+//   - @detail    only fire when the call's detail string matches exactly
+//   - probability  chance per eligible call (default 1.0), drawn from a
+//                  util::Rng seeded by SNA_FAULT_SEED (default seed)
+//   - limit      max fires for this rule (default unlimited)
+//   - skipFirst  eligible calls to pass through before firing begins
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace sna::util {
+
+/// Thrown by SNA_FAULT_POINT when an armed rule fires. A distinct type so
+/// tests can assert the failure really came from the injector.
+class FaultInjectedError : public Error {
+public:
+    explicit FaultInjectedError(const std::string& what) : Error(what) {}
+};
+
+/// Process-wide injector. All mutation is test-side setup; shouldFail() is
+/// safe to call from any thread concurrently with other shouldFail() calls
+/// (rule state is guarded by an internal mutex once armed — the disarmed
+/// fast path takes no lock).
+class FaultInjector {
+public:
+    static FaultInjector& instance();
+
+    /// Arm from a spec string (grammar above). Replaces any existing rules.
+    /// Throws ParseError on a malformed spec.
+    void arm(std::string_view spec, std::uint64_t seed = 0x5eed5eedULL);
+
+    /// Arm from the SNA_FAULT_INJECT / SNA_FAULT_SEED environment, if set.
+    /// Returns true when a spec was found and armed. Called once from the
+    /// first shouldFail() so env-armed runs need no code changes.
+    bool armFromEnv();
+
+    /// Drop every rule and return to the zero-cost disarmed state.
+    void disarm();
+
+    /// True when `site` (with `detail`) should fail now. Decides rule
+    /// matching, probability draw, skip/limit accounting, and bumps
+    /// fireCount() on a hit.
+    bool shouldFail(std::string_view site, std::string_view detail = {});
+
+    /// Total fires since the last arm()/disarm(). Test observability.
+    std::uint64_t fireCount() const;
+
+    bool armed() const;
+
+private:
+    FaultInjector();
+    struct Impl;
+    Impl* impl_;  // leaked singleton state; never destroyed
+};
+
+}  // namespace sna::util
+
+/// Throw FaultInjectedError at this site when an armed rule matches.
+/// Disarmed cost: one relaxed load, no string construction.
+#define SNA_FAULT_POINT(site, detail)                                         \
+    do {                                                                      \
+        if (::sna::util::FaultInjector::instance().shouldFail((site),         \
+                                                              (detail))) {    \
+            throw ::sna::util::FaultInjectedError(                            \
+                std::string("injected fault at ") + (site));                  \
+        }                                                                     \
+    } while (false)

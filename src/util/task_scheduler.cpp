@@ -9,7 +9,9 @@
 #include <memory>
 #include <mutex>
 
+#include "util/cancel.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sna::util {
@@ -59,7 +61,7 @@ struct WorkerDeque {
 
 SchedulerStats runTaskGraph(const TaskGraph& graph,
                             const std::function<void(int)>& run,
-                            ThreadPool* pool) {
+                            ThreadPool* pool, const CancelToken* cancel) {
     requireAcyclic(graph);
     const int n = graph.size();
     SchedulerStats stats;
@@ -75,16 +77,37 @@ SchedulerStats runTaskGraph(const TaskGraph& graph,
             if (pending[i] == 0) ready.push_back(i);
         }
         stats.maxReadyDepth = ready.size();
+        // Install the run's token for inline bodies (preserving any outer
+        // ambient scope when no token was passed).
+        const CancelScope scope(cancel != nullptr ? cancel
+                                                  : currentCancelToken());
+        bool stopped = false;
         while (!ready.empty()) {
             const int t = ready.front();
             ready.pop_front();
-            run(t);
-            ++stats.tasksExecuted;
+            if (!stopped && cancel != nullptr && cancel->stopRequested()) {
+                stopped = true;
+            }
+            if (stopped) {
+                ++stats.skippedTasks;
+            } else {
+                try {
+                    SNA_FAULT_POINT("scheduler.task", "");
+                    run(t);
+                    ++stats.tasksExecuted;
+                } catch (const CancelledError&) {
+                    // Body unwound mid-task: its slot is unpublished, the
+                    // remaining frontier drains without running.
+                    stopped = true;
+                    ++stats.skippedTasks;
+                }
+            }
             for (const int d : graph.fanout[t]) {
                 if (--pending[d] == 0) ready.push_back(d);
             }
             stats.maxReadyDepth = std::max(stats.maxReadyDepth, ready.size());
         }
+        stats.cancelled = stopped;
         stats.busyFraction = {1.0};
         return stats;
     }
@@ -109,6 +132,8 @@ SchedulerStats runTaskGraph(const TaskGraph& graph,
     std::atomic<std::size_t> maxReady{0};
     std::atomic<std::size_t> steals{0};
     std::atomic<std::size_t> executed{0};
+    std::atomic<std::size_t> skipped{0};
+    std::atomic<bool> cancelStop{false};
     std::atomic<bool> failed{false};
     std::exception_ptr firstError;
     std::mutex errorMu;
@@ -188,9 +213,25 @@ SchedulerStats runTaskGraph(const TaskGraph& graph,
             }
             readyCount.fetch_sub(1);
             const auto t0 = Clock::now();
-            if (!failed.load(std::memory_order_relaxed)) {
+            // Coherence for partial results: this check happens-after the
+            // fanin's own check (deque mutex + pending fetch_sub chain), so
+            // once any fanin was skipped for cancellation, this task is too
+            // — an executed task never reads a torn or missing fanin slot.
+            bool bodyCancelled =
+                cancelStop.load(std::memory_order_relaxed) ||
+                (cancel != nullptr && cancel->stopRequested());
+            if (bodyCancelled) {
+                cancelStop.store(true, std::memory_order_relaxed);
+            } else if (!failed.load(std::memory_order_relaxed)) {
                 try {
+                    const CancelScope scope(cancel != nullptr
+                                                ? cancel
+                                                : currentCancelToken());
+                    SNA_FAULT_POINT("scheduler.task", "");
                     run(t);
+                } catch (const CancelledError&) {
+                    cancelStop.store(true, std::memory_order_relaxed);
+                    bodyCancelled = true;
                 } catch (...) {
                     failed.store(true, std::memory_order_relaxed);
                     const std::lock_guard<std::mutex> lock(errorMu);
@@ -198,7 +239,11 @@ SchedulerStats runTaskGraph(const TaskGraph& graph,
                 }
             }
             busySec += secondsSince(t0);
-            executed.fetch_add(1, std::memory_order_relaxed);
+            if (bodyCancelled) {
+                skipped.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                executed.fetch_add(1, std::memory_order_relaxed);
+            }
             for (const int d : graph.fanout[t]) {
                 if (pending[static_cast<std::size_t>(d)].fetch_sub(1) == 1) {
                     push(self, d);
@@ -225,6 +270,8 @@ SchedulerStats runTaskGraph(const TaskGraph& graph,
     if (firstError) std::rethrow_exception(firstError);
 
     stats.tasksExecuted = executed.load();
+    stats.skippedTasks = skipped.load();
+    stats.cancelled = cancelStop.load();
     stats.steals = steals.load();
     stats.maxReadyDepth = maxReady.load();
     stats.busyFraction.reserve(static_cast<std::size_t>(workers));

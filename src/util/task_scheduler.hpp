@@ -23,6 +23,7 @@
 
 namespace sna::util {
 
+class CancelToken;
 class ThreadPool;
 
 /// A dependency DAG over tasks 0..n-1. fanout[i] lists the tasks that
@@ -50,6 +51,22 @@ struct SchedulerStats {
     /// Per-worker fraction of its wall time spent inside task bodies
     /// (1.0 = never idle). One entry per pool worker; {1.0} when serial.
     std::vector<double> busyFraction;
+    /// True when the run observed a tripped CancelToken: some bodies were
+    /// skipped (or interrupted) and the run drained without executing them.
+    bool cancelled = false;
+    /// Bodies not run to completion because of cancellation (skipped
+    /// outright, or unwound by CancelledError mid-body). On a cancelled
+    /// run tasksExecuted + skippedTasks == graph.size(); on an uncancelled
+    /// run skippedTasks == 0 and tasksExecuted keeps its historical
+    /// meaning (== graph.size(), even down the exception drain path).
+    std::size_t skippedTasks = 0;
+    /// Failure-quarantine accounting, filled by the analysis layer (the
+    /// scheduler itself never quarantines): tasks whose body threw and was
+    /// captured per-net, tasks suppressed because an upstream net failed,
+    /// and tasks degraded to pass-through instead of being suppressed.
+    std::size_t failedTasks = 0;
+    std::size_t quarantinedTasks = 0;
+    std::size_t degradedTasks = 0;
 };
 
 /// Execute run(i) for every task of `graph`, each after all its fanins.
@@ -66,9 +83,20 @@ struct SchedulerStats {
 /// calling thread after the run drains; once a task has thrown, the bodies
 /// of not-yet-started tasks are skipped (their dependents still unlock, so
 /// the run terminates). Throws LogicError if the graph has a cycle.
+///
+/// Cancellation: with a non-null `cancel`, every body runs inside a
+/// CancelScope (so deep loops can pollCancellation()), and once the token
+/// stops, remaining bodies are skipped while the graph still drains. A
+/// cancelled run returns normally with stats.cancelled = true — it does
+/// NOT throw — so the caller can harvest completed slots. CancelledError
+/// thrown by a body counts the task as skipped, not failed. Coherence
+/// guarantee for partial results: a dependent's pre-body check
+/// happens-after its fanin's skip decision (deque mutex + pending
+/// fetch_sub), so no executed task ever has a skipped fanin.
 SchedulerStats runTaskGraph(const TaskGraph& graph,
                             const std::function<void(int)>& run,
-                            ThreadPool* pool = nullptr);
+                            ThreadPool* pool = nullptr,
+                            const CancelToken* cancel = nullptr);
 
 /// An induced subgraph of a TaskGraph plus the mapping back to the full
 /// graph's task ids. Running `graph` with `run(fullId[sub])` executes

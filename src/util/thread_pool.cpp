@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "util/cancel.hpp"
+
 namespace sna::util {
 
 int resolveThreadCount(int requested) {
@@ -74,22 +76,49 @@ void ThreadPool::workerLoop() {
     }
 }
 
-void parallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn) {
+void parallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn,
+                 const CancelToken* cancel) {
     if (n <= 0) return;
     if (pool == nullptr || pool->size() <= 1 || n == 1) {
-        for (int i = 0; i < n; ++i) fn(i);
+        const CancelScope scope(cancel != nullptr ? cancel
+                                                  : currentCancelToken());
+        for (int i = 0; i < n; ++i) {
+            if (cancel != nullptr && cancel->stopRequested()) return;
+            try {
+                fn(i);
+            } catch (const CancelledError&) {
+                if (cancel == nullptr) throw;  // historical semantics
+                return;  // slot i unpublished; caller checks the token
+            }
+        }
         return;
     }
 
     std::atomic<int> next{0};
+    std::atomic<bool> stopped{false};
     std::exception_ptr firstError;
     std::mutex errorMu;
     auto worker = [&] {
+        const CancelScope scope(cancel != nullptr ? cancel
+                                                  : currentCancelToken());
         for (;;) {
+            if (stopped.load(std::memory_order_relaxed) ||
+                (cancel != nullptr && cancel->stopRequested())) {
+                stopped.store(true, std::memory_order_relaxed);
+                return;
+            }
             const int i = next.fetch_add(1);
             if (i >= n) return;
             try {
                 fn(i);
+            } catch (const CancelledError&) {
+                if (cancel == nullptr) {
+                    const std::lock_guard<std::mutex> lock(errorMu);
+                    if (!firstError) firstError = std::current_exception();
+                    return;
+                }
+                stopped.store(true, std::memory_order_relaxed);
+                return;
             } catch (...) {
                 const std::lock_guard<std::mutex> lock(errorMu);
                 if (!firstError) firstError = std::current_exception();

@@ -17,6 +17,8 @@
 
 namespace sna::util {
 
+class CancelToken;
+
 class ThreadPool {
 public:
     /// Spawns `threads` workers; values < 1 are clamped to 1. A pool of
@@ -72,6 +74,13 @@ void parallelFor(int threads, int n, const std::function<void(int)>& fn);
 /// must be otherwise idle: completion is detected with ThreadPool::wait(),
 /// which waits for the whole queue to drain. Exception semantics match the
 /// thread-count overload (first error rethrown after all workers settle).
-void parallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn);
+///
+/// With a non-null `cancel`, each fn(i) runs inside a CancelScope and once
+/// the token stops no further indices are claimed; the sweep settles and
+/// returns normally (never throws CancelledError) so the caller can keep
+/// completed slots — check cancel->stopRequested() to learn whether every
+/// index ran. CancelledError thrown by fn(i) stops the sweep the same way.
+void parallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn,
+                 const CancelToken* cancel = nullptr);
 
 }  // namespace sna::util
